@@ -1,0 +1,54 @@
+// Command calibrate checks every registered dataset analog against the
+// paper's published structural targets: node count, average degree,
+// clustering coefficient, and the α = 0 / α = 32 compression ratios.
+// It is the tool used to tune the generator parameters in
+// internal/bench/registry.go; re-run it after touching any generator.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/cbm"
+	"repro/internal/graph"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "generator seed")
+	threads := flag.Int("threads", 0, "worker count (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	for _, d := range bench.Registry {
+		start := time.Now()
+		a := d.Generate(*seed)
+		gen := time.Since(start)
+		st := graph.Summarize(a)
+		cc := graph.AverageClusteringCoefficient(a, *threads)
+
+		start = time.Now()
+		b, err := cbm.NewBuilder(a, cbm.Options{Threads: *threads})
+		if err != nil {
+			panic(err)
+		}
+		m0, s0, err := b.Compress(0, false)
+		if err != nil {
+			panic(err)
+		}
+		build := time.Since(start)
+		m32, _, err := b.Compress(32, false)
+		if err != nil {
+			panic(err)
+		}
+		r0 := float64(a.FootprintBytes()) / float64(m0.FootprintBytes())
+		r32 := float64(a.FootprintBytes()) / float64(m32.FootprintBytes())
+		fmt.Printf("%-18s n=%7d deg=%6.1f (paper %6.1f) cc=%.2f (paper %.2f) "+
+			"ratio0=%5.2f (paper %5.2f) ratio32=%5.2f (paper %5.2f) "+
+			"cand=%d kids0=%d build=%v gen=%v\n",
+			d.Name, st.Nodes, st.AverageDegree, d.Paper.AvgDegree,
+			cc, d.Paper.ClusteringCoef,
+			r0, d.Paper.RatioAlpha0, r32, d.Paper.RatioAlpha32,
+			s0.CandidateEdges, s0.VirtualKids, build, gen)
+	}
+}

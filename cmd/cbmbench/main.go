@@ -1,0 +1,226 @@
+// Command cbmbench regenerates every table and figure of the paper's
+// evaluation section on the synthetic dataset analogs.
+//
+// Usage:
+//
+//	cbmbench -exp all                      # everything, scaled defaults
+//	cbmbench -exp table2,fig2 -datasets cora,collab
+//	cbmbench -exp table4 -cols 500 -reps 25   # paper-width GCN run
+//
+// Results print as plain-text tables mirroring the paper's layout and
+// include the paper's published values for side-by-side comparison.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exps         = flag.String("exp", "all", "comma-separated experiments: table1,table2,fig2,table3,table4,table5,verify,ablation,gnnsuite,scaling,memwall,buildscale,all")
+		seed         = flag.Uint64("seed", 1, "generator seed")
+		threads      = flag.Int("threads", 0, "parallel worker count (0 = GOMAXPROCS)")
+		cols         = flag.Int("cols", 128, "columns of the dense operand X (paper: 500)")
+		reps         = flag.Int("reps", 5, "timing repetitions (paper: 250)")
+		warmup       = flag.Int("warmup", 1, "warmup runs before timing")
+		datasets     = flag.String("datasets", "", "comma-separated dataset subset (default: all; see -list)")
+		alphas       = flag.String("alphas", "", "comma-separated α sweep for fig2 (default 0,1,2,4,8,16,32)")
+		out          = flag.String("o", "", "write output to this file as well as stdout")
+		list         = flag.Bool("list", false, "list registered datasets and exit")
+		verifyTrials = flag.Int("verify-trials", 5, "random operand matrices per dataset for -exp verify (paper: 50)")
+		jsonOut      = flag.String("json", "", "additionally write all results as JSON to this file")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range bench.Names() {
+			fmt.Println(name)
+		}
+		return
+	}
+
+	cfg := experiments.Config{
+		Seed:    *seed,
+		Threads: *threads,
+		Cols:    *cols,
+		Reps:    *reps,
+		Warmup:  *warmup,
+	}
+	if *datasets != "" {
+		cfg.Datasets = strings.Split(*datasets, ",")
+	}
+	if *alphas != "" {
+		for _, s := range strings.Split(*alphas, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				fatalf("bad -alphas value %q: %v", s, err)
+			}
+			cfg.Alphas = append(cfg.Alphas, v)
+		}
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatalf("create %s: %v", *out, err)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	results := map[string]interface{}{}
+	selected := map[string]bool{}
+	for _, e := range strings.Split(*exps, ",") {
+		selected[strings.TrimSpace(e)] = true
+	}
+	all := selected["all"]
+	ran := false
+
+	if all || selected["table1"] {
+		ran = true
+		rows, err := experiments.Table1(cfg)
+		if err != nil {
+			fatalf("table1: %v", err)
+		}
+		experiments.WriteTable1(w, rows)
+		results["table1"] = rows
+		fmt.Fprintln(w)
+	}
+	if all || selected["table2"] {
+		ran = true
+		rows, err := experiments.Table2(cfg)
+		if err != nil {
+			fatalf("table2: %v", err)
+		}
+		experiments.WriteTable2(w, rows)
+		results["table2"] = rows
+		fmt.Fprintln(w)
+	}
+	if all || selected["fig2"] {
+		ran = true
+		series, err := experiments.Fig2(cfg)
+		if err != nil {
+			fatalf("fig2: %v", err)
+		}
+		experiments.WriteFig2(w, series)
+		results["fig2"] = series
+		fmt.Fprintln(w)
+	}
+	if all || selected["table3"] {
+		ran = true
+		rows, err := experiments.Table3(cfg)
+		if err != nil {
+			fatalf("table3: %v", err)
+		}
+		experiments.WriteTable3(w, rows)
+		results["table3"] = rows
+		fmt.Fprintln(w)
+	}
+	if all || selected["table4"] {
+		ran = true
+		rows, err := experiments.Table4(cfg)
+		if err != nil {
+			fatalf("table4: %v", err)
+		}
+		experiments.WriteTable4(w, rows)
+		results["table4"] = rows
+		fmt.Fprintln(w)
+	}
+	if all || selected["verify"] {
+		ran = true
+		rows, err := experiments.Verify(cfg, *verifyTrials)
+		if err != nil {
+			fatalf("verify: %v", err)
+		}
+		experiments.WriteVerify(w, rows)
+		results["verify"] = rows
+		fmt.Fprintln(w)
+	}
+	if all || selected["table5"] {
+		ran = true
+		rows, err := experiments.Table5(cfg)
+		if err != nil {
+			fatalf("table5: %v", err)
+		}
+		experiments.WriteTable5(w, rows)
+		results["table5"] = rows
+		fmt.Fprintln(w)
+	}
+	if selected["gnnsuite"] { // extension: per-architecture forward-pass comparison
+		ran = true
+		rows, err := experiments.GNNSuite(cfg)
+		if err != nil {
+			fatalf("gnnsuite: %v", err)
+		}
+		experiments.WriteGNNSuite(w, rows)
+		results["gnnsuite"] = rows
+		fmt.Fprintln(w)
+	}
+	if selected["scaling"] { // extension: strong-scaling sweep
+		ran = true
+		series, err := experiments.Scaling(cfg)
+		if err != nil {
+			fatalf("scaling: %v", err)
+		}
+		experiments.WriteScaling(w, series)
+		results["scaling"] = series
+		fmt.Fprintln(w)
+	}
+	if selected["buildscale"] { // extension: Lemma 1 construction-scaling check
+		ran = true
+		points, err := experiments.BuildScale(cfg, nil)
+		if err != nil {
+			fatalf("buildscale: %v", err)
+		}
+		experiments.WriteBuildScale(w, points)
+		results["buildscale"] = points
+		fmt.Fprintln(w)
+	}
+	if selected["memwall"] { // extension: Sec. VIII memory-wall study on the Reddit analog
+		ran = true
+		rows, err := experiments.MemWall(cfg)
+		if err != nil {
+			fatalf("memwall: %v", err)
+		}
+		experiments.WriteMemWall(w, rows)
+		results["memwall"] = rows
+		fmt.Fprintln(w)
+	}
+	if selected["ablation"] { // not part of "all": it is a design study, not a paper table
+		ran = true
+		rows, err := experiments.Ablation(cfg)
+		if err != nil {
+			fatalf("ablation: %v", err)
+		}
+		experiments.WriteAblation(w, rows)
+		results["ablation"] = rows
+		fmt.Fprintln(w)
+	}
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			fatalf("marshal results: %v", err)
+		}
+		if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			fatalf("write %s: %v", *jsonOut, err)
+		}
+	}
+	if !ran {
+		fatalf("no experiment selected (got -exp %q); valid: table1,table2,fig2,table3,table4,table5,verify,ablation,gnnsuite,scaling,memwall,buildscale,all", *exps)
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "cbmbench: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,117 @@
+// Package bench provides the measurement harness and dataset registry
+// behind every table and figure reproduction: repeated timing with mean
+// and standard deviation (the paper averages over 250 runs and reports
+// ±σ), plain-text table rendering, and the synthetic analogs of the
+// paper's eight datasets together with the published reference numbers
+// they are compared against in EXPERIMENTS.md.
+package bench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+)
+
+// Timing summarizes repeated measurements of one operation.
+type Timing struct {
+	Reps int
+	Mean time.Duration
+	Std  time.Duration
+}
+
+// Seconds returns the mean in seconds.
+func (t Timing) Seconds() float64 { return t.Mean.Seconds() }
+
+// String renders "0.0123 (± 0.0004)" in seconds, the paper's format.
+func (t Timing) String() string {
+	return fmt.Sprintf("%.4f (± %.4f)", t.Mean.Seconds(), t.Std.Seconds())
+}
+
+// Measure runs f reps times (after warmup warm runs) and returns the
+// mean and standard deviation of the wall-clock durations.
+func Measure(reps, warm int, f func()) Timing {
+	if reps < 1 {
+		reps = 1
+	}
+	for i := 0; i < warm; i++ {
+		f()
+	}
+	samples := make([]float64, reps)
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		f()
+		samples[i] = time.Since(start).Seconds()
+	}
+	mean := 0.0
+	for _, s := range samples {
+		mean += s
+	}
+	mean /= float64(reps)
+	varsum := 0.0
+	for _, s := range samples {
+		d := s - mean
+		varsum += d * d
+	}
+	std := 0.0
+	if reps > 1 {
+		std = math.Sqrt(varsum / float64(reps-1))
+	}
+	return Timing{
+		Reps: reps,
+		Mean: time.Duration(mean * float64(time.Second)),
+		Std:  time.Duration(std * float64(time.Second)),
+	}
+}
+
+// Table renders rows of cells as a fixed-width text table with a
+// header row and a separator line.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// MiB formats a byte count in MiB with two decimals, as the paper's
+// memory columns do.
+func MiB(bytes int64) string {
+	return fmt.Sprintf("%.2f", float64(bytes)/(1<<20))
+}

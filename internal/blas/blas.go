@@ -1,0 +1,154 @@
+// Package blas provides the small set of single-precision vector
+// kernels the CBM multiplication pipeline is built from. They stand in
+// for the Intel MKL routines (axpy and friends) the paper uses: plain
+// Go loops, manually unrolled by eight so the compiler can keep the
+// accumulators in registers and bounds checks are hoisted.
+package blas
+
+// Axpy computes y[i] += a*x[i] for all i. x and y must have equal
+// length; it panics otherwise (mirrors the BLAS contract).
+func Axpy(a float32, x, y []float32) {
+	if len(x) != len(y) {
+		panic("blas: Axpy length mismatch")
+	}
+	if a == 0 || len(x) == 0 {
+		return
+	}
+	i := 0
+	// Unrolled main loop; the slice re-slice pins a common bound so the
+	// compiler eliminates per-element bounds checks.
+	for ; i+8 <= len(x); i += 8 {
+		xs := x[i : i+8 : i+8]
+		ys := y[i : i+8 : i+8]
+		ys[0] += a * xs[0]
+		ys[1] += a * xs[1]
+		ys[2] += a * xs[2]
+		ys[3] += a * xs[3]
+		ys[4] += a * xs[4]
+		ys[5] += a * xs[5]
+		ys[6] += a * xs[6]
+		ys[7] += a * xs[7]
+	}
+	for ; i < len(x); i++ {
+		y[i] += a * x[i]
+	}
+}
+
+// Add computes y[i] += x[i] — the a == 1 axpy specialization used by
+// the CBM update stage for unscaled (AX) products.
+func Add(x, y []float32) {
+	if len(x) != len(y) {
+		panic("blas: Add length mismatch")
+	}
+	i := 0
+	for ; i+8 <= len(x); i += 8 {
+		xs := x[i : i+8 : i+8]
+		ys := y[i : i+8 : i+8]
+		ys[0] += xs[0]
+		ys[1] += xs[1]
+		ys[2] += xs[2]
+		ys[3] += xs[3]
+		ys[4] += xs[4]
+		ys[5] += xs[5]
+		ys[6] += xs[6]
+		ys[7] += xs[7]
+	}
+	for ; i < len(x); i++ {
+		y[i] += x[i]
+	}
+}
+
+// AxpbyTo computes dst[i] = a*x[i] + b*y[i]. dst may alias x or y.
+// It is the fused kernel of the DADX update stage
+// (dst = d_x*(parent/d_p) + d_x*child, Eq. 6 of the paper).
+func AxpbyTo(dst []float32, a float32, x []float32, b float32, y []float32) {
+	if len(x) != len(y) || len(dst) != len(x) {
+		panic("blas: AxpbyTo length mismatch")
+	}
+	i := 0
+	for ; i+8 <= len(x); i += 8 {
+		xs := x[i : i+8 : i+8]
+		ys := y[i : i+8 : i+8]
+		ds := dst[i : i+8 : i+8]
+		ds[0] = a*xs[0] + b*ys[0]
+		ds[1] = a*xs[1] + b*ys[1]
+		ds[2] = a*xs[2] + b*ys[2]
+		ds[3] = a*xs[3] + b*ys[3]
+		ds[4] = a*xs[4] + b*ys[4]
+		ds[5] = a*xs[5] + b*ys[5]
+		ds[6] = a*xs[6] + b*ys[6]
+		ds[7] = a*xs[7] + b*ys[7]
+	}
+	for ; i < len(x); i++ {
+		dst[i] = a*x[i] + b*y[i]
+	}
+}
+
+// Scal computes x[i] *= a.
+func Scal(a float32, x []float32) {
+	i := 0
+	for ; i+8 <= len(x); i += 8 {
+		xs := x[i : i+8 : i+8]
+		xs[0] *= a
+		xs[1] *= a
+		xs[2] *= a
+		xs[3] *= a
+		xs[4] *= a
+		xs[5] *= a
+		xs[6] *= a
+		xs[7] *= a
+	}
+	for ; i < len(x); i++ {
+		x[i] *= a
+	}
+}
+
+// Dot returns the inner product of x and y. Four independent
+// accumulators break the floating-point dependency chain.
+func Dot(x, y []float32) float32 {
+	if len(x) != len(y) {
+		panic("blas: Dot length mismatch")
+	}
+	var s0, s1, s2, s3 float32
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		xs := x[i : i+4 : i+4]
+		ys := y[i : i+4 : i+4]
+		s0 += xs[0] * ys[0]
+		s1 += xs[1] * ys[1]
+		s2 += xs[2] * ys[2]
+		s3 += xs[3] * ys[3]
+	}
+	for ; i < len(x); i++ {
+		s0 += x[i] * y[i]
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+// Asum returns the sum of absolute values of x.
+func Asum(x []float32) float32 {
+	var s float32
+	for _, v := range x {
+		if v < 0 {
+			s -= v
+		} else {
+			s += v
+		}
+	}
+	return s
+}
+
+// Copy copies x into y.
+func Copy(x, y []float32) {
+	if len(x) != len(y) {
+		panic("blas: Copy length mismatch")
+	}
+	copy(y, x)
+}
+
+// Fill sets every element of x to v.
+func Fill(x []float32, v float32) {
+	for i := range x {
+		x[i] = v
+	}
+}

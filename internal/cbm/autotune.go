@@ -1,0 +1,65 @@
+package cbm
+
+import (
+	"time"
+
+	"repro/internal/dense"
+	"repro/internal/xrand"
+)
+
+// TuneResult reports one α's measured behaviour during AutoTune.
+type TuneResult struct {
+	Alpha   int
+	Seconds float64
+	Ratio   float64
+}
+
+// AutoTune picks the α that minimizes the measured AX time for this
+// matrix: it reuses one candidate pass (Builder) across the sweep,
+// times reps multiplications with a random cols-wide operand per α,
+// and returns the winner plus the whole frontier. The paper observes
+// that the best sequential α is fairly stable (≈ 4) but the parallel
+// optimum is graph-dependent — this helper is the programmatic version
+// of that tuning step.
+func AutoTune(b *Builder, alphas []int, cols, reps, threads int, seed uint64) (best *Matrix, bestAlpha int, frontier []TuneResult, err error) {
+	if len(alphas) == 0 {
+		alphas = []int{0, 1, 2, 4, 8, 16, 32}
+	}
+	if cols <= 0 {
+		cols = 32
+	}
+	if reps <= 0 {
+		reps = 3
+	}
+	rng := xrand.New(seed)
+	n := b.a.Rows
+	x := dense.New(n, cols)
+	rng.FillUniform(x.Data)
+	c := dense.New(n, cols)
+	csrBytes := b.a.FootprintBytes()
+
+	bestTime := -1.0
+	for _, alpha := range alphas {
+		m, _, cerr := b.Compress(alpha, false)
+		if cerr != nil {
+			return nil, 0, nil, cerr
+		}
+		m.MulTo(c, x, threads) // warmup
+		start := time.Now()
+		for r := 0; r < reps; r++ {
+			m.MulTo(c, x, threads)
+		}
+		secs := time.Since(start).Seconds() / float64(reps)
+		frontier = append(frontier, TuneResult{
+			Alpha:   alpha,
+			Seconds: secs,
+			Ratio:   float64(csrBytes) / float64(m.FootprintBytes()),
+		})
+		if bestTime < 0 || secs < bestTime {
+			bestTime = secs
+			best = m
+			bestAlpha = alpha
+		}
+	}
+	return best, bestAlpha, frontier, nil
+}

@@ -1,0 +1,124 @@
+package cbm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/synth"
+	"repro/internal/xrand"
+)
+
+func TestClusteredRoundTrip(t *testing.T) {
+	a := synth.SBMGroups(600, 30, 0.85, 0.5, 9)
+	m, stats, cstats, err := CompressClustered(a, Options{Alpha: 0}, ClusterOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.ToCSR().ToDense().Equal(a.ToDense()) {
+		t.Fatal("clustered decompression differs")
+	}
+	if cstats.Clusters < 2 {
+		t.Fatalf("expected multiple clusters, got %d", cstats.Clusters)
+	}
+	if stats.TreeWeight != int64(m.NumDeltas()) {
+		t.Fatal("stats mismatch")
+	}
+}
+
+func TestClusteredProperty1AndMemoryBound(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := 10 + rng.Intn(60)
+		a := randomBinary(rng, n, 0.15+0.25*rng.Float64(), true)
+		alpha := rng.Intn(4)
+		m, _, cstats, err := CompressClustered(a, Options{Alpha: alpha}, ClusterOptions{Seed: seed})
+		if err != nil {
+			return false
+		}
+		// Property 1 survives clustering.
+		if m.NumDeltas() > a.NNZ() {
+			return false
+		}
+		// Candidate memory never exceeds the exact pass.
+		full, err := NewBuilder(a, Options{})
+		if err != nil {
+			return false
+		}
+		fullEdges := candidateEdgeCount(full.cand)
+		if cstats.CandidateEdges > fullEdges {
+			return false
+		}
+		return m.ToCSR().ToDense().Equal(a.ToDense())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClusteredKeepsMostCompressionOnTightGroups(t *testing.T) {
+	// Nearly identical rows within groups: MinHash should keep groups
+	// together, so clustered compression stays close to exact.
+	a := synth.SBMGroups(1000, 40, 0.95, 0.0, 4)
+	exact, _, err := Compress(a, Options{Alpha: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clustered, _, cstats, err := CompressClustered(a, Options{Alpha: 0}, ClusterOptions{Hashes: 1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactRatio := float64(a.FootprintBytes()) / float64(exact.FootprintBytes())
+	clusterRatio := float64(a.FootprintBytes()) / float64(clustered.FootprintBytes())
+	if clusterRatio < exactRatio/3 {
+		t.Fatalf("clustered ratio %.2f lost too much vs exact %.2f (clusters=%d, largest=%d)",
+			clusterRatio, exactRatio, cstats.Clusters, cstats.LargestCluster)
+	}
+	if clusterRatio < 1.5 {
+		t.Fatalf("clustered ratio %.2f: compression collapsed", clusterRatio)
+	}
+}
+
+func TestClusteredMoreHashesMoreClusters(t *testing.T) {
+	a := synth.SBMGroups(800, 20, 0.7, 0.5, 6)
+	_, _, c1, err := CompressClustered(a, Options{}, ClusterOptions{Hashes: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, c4, err := CompressClustered(a, Options{}, ClusterOptions{Hashes: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c4.Clusters < c1.Clusters {
+		t.Fatalf("hashes=4 gave %d clusters < hashes=1's %d", c4.Clusters, c1.Clusters)
+	}
+	if c4.CandidateEdges > c1.CandidateEdges {
+		t.Fatalf("more hashes should not increase candidates: %d > %d",
+			c4.CandidateEdges, c1.CandidateEdges)
+	}
+}
+
+func TestClusteredRejectsBadInput(t *testing.T) {
+	a := paperFig1Matrix()
+	if _, _, _, err := CompressClustered(a, Options{Alpha: -1}, ClusterOptions{}); err == nil {
+		t.Fatal("negative alpha accepted")
+	}
+	coo := randomBinary(xrand.New(1), 4, 0.5, false)
+	coo.Vals[0] = 3
+	if _, _, _, err := CompressClustered(coo, Options{}, ClusterOptions{}); err == nil {
+		t.Fatal("non-binary accepted")
+	}
+}
+
+func TestClusteredEmptyRowsShareCluster(t *testing.T) {
+	// Matrix with several empty rows: they all carry signature 0 and
+	// must not break anything.
+	adj := [][]int32{{1, 2}, {}, {}, {1, 2}, {}}
+	a := fromAdjForTest(5, adj)
+	m, _, _, err := CompressClustered(a, Options{}, ClusterOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.ToCSR().ToDense().Equal(a.ToDense()) {
+		t.Fatal("round trip with empty rows differs")
+	}
+}

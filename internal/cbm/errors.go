@@ -1,0 +1,19 @@
+package cbm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// errNotBinary is returned when the input matrix has stored values
+// other than 1; the CBM format compresses binary matrices only (scaled
+// variants are expressed as AD / DAD on top of a binary core).
+var errNotBinary = errors.New("cbm: input matrix must be binary (all stored values 1)")
+
+func errNotSquare(rows, cols int) error {
+	return fmt.Errorf("cbm: input matrix must be square, got %d×%d", rows, cols)
+}
+
+func errTooLarge(rows int) error {
+	return fmt.Errorf("cbm: matrix with %d rows exceeds int32-indexed capacity", rows)
+}

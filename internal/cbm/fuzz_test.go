@@ -1,0 +1,70 @@
+package cbm
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/synth"
+)
+
+// FuzzDecode checks the binary-container parser never panics and that
+// anything it accepts behaves like a structurally valid CBM matrix.
+func FuzzDecode(f *testing.F) {
+	// Seed corpus: valid containers of each kind plus corruptions.
+	a := synth.SBMGroups(40, 8, 0.7, 0.5, 1)
+	base, _, err := Compress(a, Options{Alpha: 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := base.Encode(&buf); err != nil {
+		f.Fatal(err)
+	}
+	good := buf.Bytes()
+	f.Add(good)
+	d := make([]float32, a.Rows)
+	for i := range d {
+		d[i] = 1.5
+	}
+	buf.Reset()
+	if err := base.WithSymmetricScale(d).Encode(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("CBM"))
+	f.Add(good[:len(good)/3])
+	flipped := append([]byte(nil), good...)
+	flipped[10] ^= 0xff
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted containers must be internally consistent.
+		if err := m.delta.Validate(); err != nil {
+			t.Fatalf("accepted invalid delta matrix: %v", err)
+		}
+		covered := 0
+		for _, b := range m.branches {
+			covered += len(b)
+		}
+		if covered != m.n {
+			t.Fatalf("accepted container with broken tree: %d of %d rows", covered, m.n)
+		}
+		// Re-encoding must succeed and re-decode to the same metadata.
+		var out bytes.Buffer
+		if err := m.Encode(&out); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		back, err := Decode(&out)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if back.n != m.n || back.kind != m.kind || back.NumDeltas() != m.NumDeltas() {
+			t.Fatal("re-decode changed metadata")
+		}
+	})
+}

@@ -1,0 +1,247 @@
+// Matrix multiplication kernels for the CBM format (Sec. IV–V).
+//
+// C = M·B is computed in two stages:
+//
+//  1. Multiplication stage: C ← A'·B (or (AD)'·B), a plain sparse-dense
+//     product on the delta matrix, delegated to the same SpMM kernel
+//     the CSR baseline uses (the paper delegates to Intel MKL here).
+//  2. Update stage: the compression tree is traversed in topological
+//     order; each visited row accumulates its parent's finished row
+//     (an axpy), with the extra d_x/d_parent row scaling for DAD
+//     matrices (Eq. 6). Branches hanging off the virtual root are
+//     independent, so the parallel variant distributes whole branches
+//     to threads with dynamic scheduling.
+//
+// Property 3 holds: no scratch proportional to the matrix size is
+// allocated; everything happens in the output matrix C.
+
+package cbm
+
+import (
+	"fmt"
+
+	"repro/internal/blas"
+	"repro/internal/dense"
+	"repro/internal/kernels"
+	"repro/internal/parallel"
+)
+
+// Mul computes C = M·B sequentially and returns C.
+func (m *Matrix) Mul(b *dense.Matrix) *dense.Matrix {
+	c := dense.New(m.n, b.Cols)
+	m.MulTo(c, b, 1)
+	return c
+}
+
+// MulParallel computes C = M·B with the given number of threads and
+// returns C. threads < 1 selects the default.
+func (m *Matrix) MulParallel(b *dense.Matrix, threads int) *dense.Matrix {
+	c := dense.New(m.n, b.Cols)
+	m.MulTo(c, b, threads)
+	return c
+}
+
+// MulTo computes c = M·b into the pre-allocated output c (overwritten).
+func (m *Matrix) MulTo(c, b *dense.Matrix, threads int) {
+	if b.Rows != m.n {
+		panic(fmt.Sprintf("cbm: Mul shape mismatch: %d×%d · %d×%d", m.n, m.n, b.Rows, b.Cols))
+	}
+	if c.Rows != m.n || c.Cols != b.Cols {
+		panic("cbm: Mul output shape mismatch")
+	}
+	kernels.SpMMTo(c, m.delta, b, threads)
+	m.update(c, threads)
+}
+
+// update runs the tree-traversal stage over the finished delta product.
+func (m *Matrix) update(c *dense.Matrix, threads int) {
+	if threads == 1 || len(m.branches) == 1 {
+		for _, branch := range m.branches {
+			m.updateBranch(c, branch)
+		}
+		return
+	}
+	parallel.ForDynamic(len(m.branches), threads, 1, func(bi int) {
+		m.updateBranch(c, m.branches[bi])
+	})
+}
+
+// updateBranch applies the update stage to one root subtree, whose
+// nodes arrive in pre-order (each parent strictly before its children).
+func (m *Matrix) updateBranch(c *dense.Matrix, branch []int32) {
+	switch m.kind {
+	case KindA, KindAD:
+		for _, x := range branch {
+			p := m.parent[x]
+			if p < 0 {
+				continue // virtual parent row is zero: nothing to add
+			}
+			blas.Add(c.Row(int(p)), c.Row(int(x)))
+		}
+	case KindDAD:
+		d := m.diag
+		for _, x := range branch {
+			p := m.parent[x]
+			row := c.Row(int(x))
+			if p < 0 {
+				// Eq. 6 with a virtual parent: u_x = d_x · ((AD)'B)_x.
+				blas.Scal(d[x], row)
+				continue
+			}
+			// u_x = d_x·(u_p/d_p + ((AD)'B)_x), fused into one pass.
+			blas.AxpbyTo(row, d[x]/d[p], c.Row(int(p)), d[x], row)
+		}
+	default:
+		panic("cbm: unknown kind")
+	}
+}
+
+// MulVec computes y = M·v for a dense vector (the matrix-vector product
+// of Sec. IV). It shares the two-stage structure of MulTo.
+func (m *Matrix) MulVec(v []float32) []float32 {
+	if len(v) != m.n {
+		panic("cbm: MulVec shape mismatch")
+	}
+	y := kernels.SpMV(m.delta, v)
+	switch m.kind {
+	case KindA, KindAD:
+		for _, branch := range m.branches {
+			for _, x := range branch {
+				if p := m.parent[x]; p >= 0 {
+					y[x] += y[p]
+				}
+			}
+		}
+	case KindDAD:
+		d := m.diag
+		for _, branch := range m.branches {
+			for _, x := range branch {
+				if p := m.parent[x]; p >= 0 {
+					y[x] = d[x] * (y[p]/d[p] + y[x])
+				} else {
+					y[x] *= d[x]
+				}
+			}
+		}
+	}
+	return y
+}
+
+// UpdateStrategy selects how the update stage is parallelized — used by
+// the ablation benchmarks; MulTo always uses StrategyBranch.
+type UpdateStrategy int
+
+const (
+	// StrategyBranch distributes whole root subtrees to threads
+	// (the paper's scheme).
+	StrategyBranch UpdateStrategy = iota
+	// StrategyBranchColumn additionally splits B's columns into
+	// blocks, scheduling (branch, block) pairs: more parallel slack
+	// for trees with few heavy branches, at the cost of traversing
+	// each branch once per block.
+	StrategyBranchColumn
+)
+
+// MulToStrategy is MulTo with an explicit update-stage strategy and,
+// for StrategyBranchColumn, the column block width (0 picks 64).
+func (m *Matrix) MulToStrategy(c, b *dense.Matrix, threads int, strat UpdateStrategy, colBlock int) {
+	if strat == StrategyBranch {
+		m.MulTo(c, b, threads)
+		return
+	}
+	if b.Rows != m.n || c.Rows != m.n || c.Cols != b.Cols {
+		panic("cbm: Mul shape mismatch")
+	}
+	kernels.SpMMTo(c, m.delta, b, threads)
+	if colBlock <= 0 {
+		colBlock = 64
+	}
+	nBlocks := (c.Cols + colBlock - 1) / colBlock
+	type task struct{ branch, block int }
+	tasks := make([]task, 0, len(m.branches)*nBlocks)
+	for bi := range m.branches {
+		for blk := 0; blk < nBlocks; blk++ {
+			tasks = append(tasks, task{bi, blk})
+		}
+	}
+	parallel.ForDynamic(len(tasks), threads, 1, func(ti int) {
+		t := tasks[ti]
+		lo := t.block * colBlock
+		hi := lo + colBlock
+		if hi > c.Cols {
+			hi = c.Cols
+		}
+		m.updateBranchCols(c, m.branches[t.branch], lo, hi)
+	})
+}
+
+// updateBranchCols is updateBranch restricted to columns [lo, hi).
+func (m *Matrix) updateBranchCols(c *dense.Matrix, branch []int32, lo, hi int) {
+	switch m.kind {
+	case KindA, KindAD:
+		for _, x := range branch {
+			p := m.parent[x]
+			if p < 0 {
+				continue
+			}
+			blas.Add(c.Row(int(p))[lo:hi], c.Row(int(x))[lo:hi])
+		}
+	case KindDAD:
+		d := m.diag
+		for _, x := range branch {
+			p := m.parent[x]
+			row := c.Row(int(x))[lo:hi]
+			if p < 0 {
+				blas.Scal(d[x], row)
+				continue
+			}
+			blas.AxpbyTo(row, d[x]/d[p], c.Row(int(p))[lo:hi], d[x], row)
+		}
+	}
+}
+
+// MulVecParallel computes y = M·v with the given thread count: SpMV
+// rows in parallel, then the branch-parallel update.
+func (m *Matrix) MulVecParallel(v []float32, threads int) []float32 {
+	if len(v) != m.n {
+		panic("cbm: MulVec shape mismatch")
+	}
+	y := make([]float32, m.n)
+	parallel.ForDynamic(m.n, threads, 128, func(i int) {
+		cols, vals := m.delta.Row(i)
+		var acc float32
+		for k, c := range cols {
+			acc += vals[k] * v[c]
+		}
+		y[i] = acc
+	})
+	update := func(branch []int32) {
+		switch m.kind {
+		case KindA, KindAD:
+			for _, x := range branch {
+				if p := m.parent[x]; p >= 0 {
+					y[x] += y[p]
+				}
+			}
+		case KindDAD:
+			d := m.diag
+			for _, x := range branch {
+				if p := m.parent[x]; p >= 0 {
+					y[x] = d[x] * (y[p]/d[p] + y[x])
+				} else {
+					y[x] *= d[x]
+				}
+			}
+		}
+	}
+	if threads == 1 || len(m.branches) == 1 {
+		for _, b := range m.branches {
+			update(b)
+		}
+		return y
+	}
+	parallel.ForDynamic(len(m.branches), threads, 1, func(bi int) {
+		update(m.branches[bi])
+	})
+	return y
+}

@@ -1,0 +1,159 @@
+// Compression-tree construction: given the candidate graph, pick each
+// row's parent by computing a minimum spanning tree (α = 0, undirected
+// distance graph, Sec. III) or a minimum-cost arborescence (α > 0,
+// where pruning makes edge availability directional, Sec. V-C), both
+// rooted at the virtual node.
+
+package cbm
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mca"
+	"repro/internal/mst"
+	"repro/internal/sparse"
+)
+
+// buildTreeMST computes the rooted MST of the candidate graph plus the
+// virtual node using Prim's algorithm. Candidates are in-edges (y is a
+// potential parent of x), so Prim's relaxation needs the out-adjacency:
+// for each y, the rows x that list y as a candidate.
+func buildTreeMST(a *sparse.CSR, cand [][]candidate) (parent []int32, total int64) {
+	n := a.Rows
+	g := &mst.Graph{N: n, Ptr: make([]int32, n+1), Root: make([]int64, n)}
+	for x := 0; x < n; x++ {
+		g.Root[x] = int64(a.RowNNZ(x))
+	}
+	// Counting sort of candidate edges by parent endpoint.
+	for x := range cand {
+		for _, c := range cand[x] {
+			g.Ptr[c.Y+1]++
+		}
+	}
+	for i := 0; i < n; i++ {
+		g.Ptr[i+1] += g.Ptr[i]
+	}
+	g.Edges = make([]mst.Edge, g.Ptr[n])
+	next := make([]int32, n)
+	copy(next, g.Ptr[:n])
+	for x := range cand {
+		for _, c := range cand[x] {
+			p := next[c.Y]
+			g.Edges[p] = mst.Edge{Nbr: int32(x), W: int64(c.H)}
+			next[c.Y] = p + 1
+		}
+	}
+	return mst.Prim(g)
+}
+
+// buildTreeMCA computes the minimum-cost arborescence over the pruned,
+// directed candidate graph: edge y→x survives iff
+// savings(x,y) = nnz(x) − hamming(x,y) ≥ α. The virtual root keeps an
+// edge to every row (weight nnz(x)) so an arborescence always exists.
+func buildTreeMCA(a *sparse.CSR, cand [][]candidate, alpha int) (parent []int32, total int64, err error) {
+	n := a.Rows
+	root := int32(n)
+	edges := make([]mca.Edge, 0, candidateEdgeCount(cand)+n)
+	for x := 0; x < n; x++ {
+		nx := int32(a.RowNNZ(x))
+		edges = append(edges, mca.Edge{From: root, To: int32(x), W: int64(nx)})
+		for _, c := range cand[x] {
+			if int(c.savings(nx)) >= alpha {
+				edges = append(edges, mca.Edge{From: c.Y, To: int32(x), W: int64(c.H)})
+			}
+		}
+	}
+	par, total, err := mca.Arborescence(n+1, root, edges)
+	if err != nil {
+		return nil, 0, fmt.Errorf("cbm: arborescence construction failed: %w", err)
+	}
+	parent = par[:n]
+	for i := range parent {
+		if parent[i] == root {
+			parent[i] = -1
+		}
+	}
+	return parent, total, nil
+}
+
+// branchDecompose splits the compression tree into the sub-trees that
+// hang off the virtual root and flattens each to pre-order, the
+// dependency-respecting traversal the update stage needs. Children of
+// the virtual root carry no update dependency (the virtual row is
+// zero), so the branches are mutually independent — they are the unit
+// of parallelism of Sec. V-B. Branches are returned largest-first so
+// dynamic scheduling balances well.
+func branchDecompose(parent []int32) [][]int32 {
+	n := len(parent)
+	// children lists in CSR-ish layout
+	childCnt := make([]int32, n+1)
+	roots := make([]int32, 0)
+	for x, p := range parent {
+		if p < 0 {
+			roots = append(roots, int32(x))
+		} else {
+			childCnt[p+1]++
+		}
+	}
+	for i := 0; i < n; i++ {
+		childCnt[i+1] += childCnt[i]
+	}
+	childBuf := make([]int32, childCnt[n])
+	next := make([]int32, n)
+	copy(next, childCnt[:n])
+	for x, p := range parent {
+		if p >= 0 {
+			childBuf[next[p]] = int32(x)
+			next[p]++
+		}
+	}
+	children := func(u int32) []int32 { return childBuf[childCnt[u]:childCnt[u+1]] }
+
+	branches := make([][]int32, 0, len(roots))
+	stack := make([]int32, 0, 64)
+	for _, r := range roots {
+		branch := make([]int32, 0, 8)
+		stack = append(stack[:0], r)
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			branch = append(branch, u)
+			stack = append(stack, children(u)...)
+		}
+		branches = append(branches, branch)
+	}
+	sort.SliceStable(branches, func(i, j int) bool { return len(branches[i]) > len(branches[j]) })
+	return branches
+}
+
+// treeDepth returns the longest root-to-leaf edge count in the
+// compression tree — a diagnostic for the critical path of the update
+// stage.
+func treeDepth(parent []int32) int {
+	n := len(parent)
+	depth := make([]int32, n)
+	for i := range depth {
+		depth[i] = -1
+	}
+	var walk func(x int32) int32
+	walk = func(x int32) int32 {
+		if depth[x] >= 0 {
+			return depth[x]
+		}
+		p := parent[x]
+		var d int32 = 1
+		if p >= 0 {
+			d = walk(p) + 1
+		}
+		depth[x] = d
+		return d
+	}
+	max := int32(0)
+	for x := 0; x < n; x++ {
+		if d := walk(int32(x)); d > max {
+			max = d
+		}
+	}
+	return int(max)
+}

@@ -1,0 +1,109 @@
+// Package core is the library's front door: it re-exports the
+// Compressed Binary Matrix (CBM) format — the paper's primary
+// contribution — together with the types a downstream user needs to go
+// from a graph to accelerated matrix products and GCN inference,
+// without having to know the internal package layout.
+//
+// Typical use:
+//
+//	a, _ := sparse.ReadEdgeList(f)              // or a synth generator
+//	m, stats, err := core.Compress(a, core.Options{Alpha: 4})
+//	c := m.MulParallel(x, 0)                    // C = A·X
+//
+// For GCN inference, build a normalized-adjacency backend instead:
+//
+//	backend, stats, err := core.NewCBMBackend(a, core.Options{Alpha: 16})
+//	model := gnn.NewGCN2(features, hidden, classes, seed)
+//	z := model.Infer(backend, x, 0)
+//
+// The sub-packages remain importable directly; this package only
+// aliases their public names.
+package core
+
+import (
+	"io"
+
+	"repro/internal/cbm"
+	"repro/internal/gnn"
+	"repro/internal/graph"
+	"repro/internal/sparse"
+)
+
+// Matrix is a binary (or diagonally scaled binary) matrix in CBM form.
+type Matrix = cbm.Matrix
+
+// Options controls compression (α threshold, threads, candidate cap).
+type Options = cbm.Options
+
+// BuildStats reports compression statistics (Table II's columns).
+type BuildStats = cbm.BuildStats
+
+// Builder caches the candidate graph for α sweeps.
+type Builder = cbm.Builder
+
+// Kind tags the represented factorization: A, AD or DAD.
+type Kind = cbm.Kind
+
+// Factorization kinds.
+const (
+	KindA   = cbm.KindA
+	KindAD  = cbm.KindAD
+	KindDAD = cbm.KindDAD
+)
+
+// CSR is the baseline sparse format.
+type CSR = sparse.CSR
+
+// Adjacency is the pluggable multiplication backend of the GNN layers.
+type Adjacency = gnn.Adjacency
+
+// Compress builds the CBM representation of a square binary matrix.
+func Compress(a *CSR, opt Options) (*Matrix, BuildStats, error) {
+	return cbm.Compress(a, opt)
+}
+
+// ClusterOptions configures CompressClustered.
+type ClusterOptions = cbm.ClusterOptions
+
+// ClusterStats reports the row partition of a clustered compression.
+type ClusterStats = cbm.ClusterStats
+
+// CompressClustered is the memory-bounded variant of Compress: rows
+// are MinHash-clustered first and parent candidates restricted to
+// same-cluster rows (the paper's future-work scaling strategy).
+func CompressClustered(a *CSR, opt Options, copt ClusterOptions) (*Matrix, BuildStats, ClusterStats, error) {
+	return cbm.CompressClustered(a, opt, copt)
+}
+
+// NewBuilder precomputes the α-independent candidate graph so several
+// α values can be tried cheaply (Fig. 2's sweep).
+func NewBuilder(a *CSR, opt Options) (*Builder, error) {
+	return cbm.NewBuilder(a, opt)
+}
+
+// Decode reads a matrix serialized with (*Matrix).Encode.
+func Decode(r io.Reader) (*Matrix, error) {
+	return cbm.Decode(r)
+}
+
+// NewCSRBackend wraps a raw binary adjacency matrix as the baseline
+// GCN backend (Â materialized as one scaled CSR matrix).
+func NewCSRBackend(adj *CSR) (Adjacency, error) {
+	return gnn.NewCSRBackend(adj)
+}
+
+// NewCBMBackend wraps a raw binary adjacency matrix as the CBM GCN
+// backend (Â = D^{-1/2}(A+I)D^{-1/2} stored as a CBM DAD matrix).
+func NewCBMBackend(adj *CSR, opt Options) (Adjacency, BuildStats, error) {
+	return gnn.NewCBMBackend(adj, opt)
+}
+
+// NormalizedAdjacency exposes the Â factorization for callers that
+// want to drive the pieces themselves.
+type NormalizedAdjacency = graph.NormalizedAdjacency
+
+// NewNormalizedAdjacency factors Â = D^{-1/2}(A+I)D^{-1/2} into its
+// binary part and diagonal.
+func NewNormalizedAdjacency(a *CSR) (*NormalizedAdjacency, error) {
+	return graph.NewNormalizedAdjacency(a)
+}

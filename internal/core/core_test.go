@@ -1,0 +1,97 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/dense"
+	"repro/internal/gnn"
+	"repro/internal/kernels"
+	"repro/internal/synth"
+	"repro/internal/xrand"
+)
+
+// TestFacadeEndToEnd exercises the documented entry points exactly the
+// way the package comment advertises them.
+func TestFacadeEndToEnd(t *testing.T) {
+	a := synth.SBMGroups(300, 20, 0.85, 0.5, 1)
+
+	m, stats, err := Compress(a, Options{Alpha: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TreeWeight != int64(m.NumDeltas()) {
+		t.Fatal("stats/deltas mismatch")
+	}
+
+	rng := xrand.New(2)
+	x := dense.New(a.Rows, 16)
+	rng.FillUniform(x.Data)
+	got := m.MulParallel(x, 0)
+	want := kernels.SpMMParallel(a, x, 0)
+	if d := dense.MaxRelDiff(got, want, 1); d > 1e-5 {
+		t.Fatalf("facade product differs: %v", d)
+	}
+
+	// serialize → decode → same product
+	var buf bytes.Buffer
+	if err := m.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Mul(x).Equal(m.Mul(x)) {
+		t.Fatal("decoded matrix product differs")
+	}
+
+	// GCN path through both backends
+	csrB, err := NewCSRBackend(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cbmB, _, err := NewCBMBackend(a, Options{Alpha: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := gnn.NewGCN2(16, 8, 4, 3)
+	z1 := model.Infer(csrB, x, 0)
+	z2 := model.Infer(cbmB, x, 0)
+	if d := dense.MaxRelDiff(z1, z2, 1); d > 1e-4 {
+		t.Fatalf("backend outputs differ: %v", d)
+	}
+}
+
+func TestFacadeBuilderSweep(t *testing.T) {
+	a := synth.SBMGroups(200, 10, 0.8, 0.3, 4)
+	b, err := NewBuilder(a, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1
+	for _, alpha := range []int{0, 4, 16} {
+		m, _, err := b.Compress(alpha, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev >= 0 && m.NumDeltas() < prev {
+			t.Fatalf("alpha=%d: deltas decreased", alpha)
+		}
+		prev = m.NumDeltas()
+	}
+}
+
+func TestFacadeNormalizedAdjacency(t *testing.T) {
+	a := synth.ErdosRenyi(100, 6, 5)
+	na, err := NewNormalizedAdjacency(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if na.Binary.NNZ() != a.NNZ()+a.Rows {
+		t.Fatal("self loops missing")
+	}
+	if len(na.Diag) != a.Rows {
+		t.Fatal("diag length wrong")
+	}
+}

@@ -1,0 +1,152 @@
+package costmodel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cbm"
+	"repro/internal/synth"
+	"repro/internal/xrand"
+)
+
+func TestCSROps(t *testing.T) {
+	a := synth.ErdosRenyi(100, 6, 1)
+	ops := CSROps(a, 10)
+	want := 2 * int64(a.NNZ()) * 10
+	if ops.Multiply != want || ops.Update != 0 {
+		t.Fatalf("CSROps = %+v, want multiply %d", ops, want)
+	}
+}
+
+func TestCBMOpsNeverExceedCSR(t *testing.T) {
+	// Property 2: CBM scalar operations ≤ CSR scalar operations for
+	// the plain (A) kind. (The update adds 2·cols per tree edge, but
+	// each edge saves at least its savings ≥ α ≥ 0 deltas — the MST
+	// construction guarantees the total never exceeds nnz.)
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := 20 + rng.Intn(200)
+		a := synth.SBMGroups(n, 10+rng.Intn(20), 0.5+0.4*rng.Float64(), 0.5, seed)
+		m, _, err := cbm.Compress(a, cbm.Options{Alpha: 1 + rng.Intn(8)})
+		if err != nil {
+			return false
+		}
+		cols := 1 + rng.Intn(64)
+		return CBMOps(m, cols).Total() <= CSROps(a, cols).Total()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMakespanBasics(t *testing.T) {
+	if Makespan(nil, 4) != 0 {
+		t.Fatal("empty makespan != 0")
+	}
+	if got := Makespan([]int64{5, 3, 2}, 1); got != 10 {
+		t.Fatalf("p=1 makespan = %d, want 10 (total work)", got)
+	}
+	if got := Makespan([]int64{5, 3, 2}, 2); got != 5 {
+		t.Fatalf("p=2 makespan = %d, want 5", got)
+	}
+	if got := Makespan([]int64{7}, 8); got != 7 {
+		t.Fatalf("single task makespan = %d, want 7 (critical path)", got)
+	}
+	if got := Makespan([]int64{1, 1, 1, 1}, 0); got != 4 {
+		t.Fatalf("p=0 clamps to 1: got %d", got)
+	}
+}
+
+// Property: makespan is sandwiched between work/p and work, and at
+// least the largest task.
+func TestMakespanBoundsProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		nTasks := 1 + rng.Intn(50)
+		p := 1 + rng.Intn(16)
+		tasks := make([]int64, nTasks)
+		var total, max int64
+		for i := range tasks {
+			tasks[i] = int64(rng.Intn(1000) + 1)
+			total += tasks[i]
+			if tasks[i] > max {
+				max = tasks[i]
+			}
+		}
+		ms := Makespan(tasks, p)
+		lower := (total + int64(p) - 1) / int64(p)
+		if ms < lower && ms < max {
+			return false
+		}
+		return ms >= max && ms <= total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMakespanMonotoneInWorkers(t *testing.T) {
+	tasks := []int64{13, 8, 8, 5, 4, 4, 3, 1}
+	prev := Makespan(tasks, 1)
+	for p := 2; p <= 8; p++ {
+		cur := Makespan(tasks, p)
+		if cur > prev {
+			t.Fatalf("makespan increased from p=%d (%d) to p=%d (%d)", p-1, prev, p, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestModeledSpeedupRisesWithAlphaOnBranchBoundGraph(t *testing.T) {
+	// A graph whose compression tree at α = 0 has few heavy branches:
+	// raising α must not reduce the modeled 16-worker speedup by much,
+	// and the modeled update makespan must shrink.
+	a := synth.SBMGroups(2000, 100, 0.95, 0.2, 3)
+	builder, err := cbm.NewBuilder(a, cbm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m0, _, err := builder.Compress(0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m16, _, err := builder.Compress(16, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms0 := Makespan(BranchCosts(m0, 128), 16)
+	ms16 := Makespan(BranchCosts(m16, 128), 16)
+	if m16.NumBranches() > m0.NumBranches() && ms16 > ms0 {
+		t.Fatalf("more branches (%d → %d) but larger makespan (%d → %d)",
+			m0.NumBranches(), m16.NumBranches(), ms0, ms16)
+	}
+	if sp := ModeledSpeedup(a, m0, 128, 16); sp <= 0 {
+		t.Fatalf("modeled speedup = %v", sp)
+	}
+}
+
+func TestBranchCostsMatchKind(t *testing.T) {
+	a := synth.SBMGroups(300, 20, 0.8, 0.3, 5)
+	base, _, err := cbm.Compress(a, cbm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := make([]float32, a.Rows)
+	for i := range d {
+		d[i] = 1
+	}
+	dad := base.WithSymmetricScale(d)
+	ca := BranchCosts(base, 10)
+	cd := BranchCosts(dad, 10)
+	if len(ca) != len(cd) {
+		t.Fatal("branch count differs across kinds")
+	}
+	var ta, td int64
+	for i := range ca {
+		ta += ca[i]
+		td += cd[i]
+	}
+	if td <= ta {
+		t.Fatalf("DAD update cost %d should exceed A update cost %d", td, ta)
+	}
+}

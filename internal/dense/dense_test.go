@@ -1,0 +1,270 @@
+package dense
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func randMatrix(rng *xrand.RNG, rows, cols int) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.Float32()*2 - 1
+	}
+	return m
+}
+
+// naiveMul is the textbook triple loop in float64 for reference.
+func naiveMul(a, b *Matrix) *Matrix {
+	c := New(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			var s float64
+			for k := 0; k < a.Cols; k++ {
+				s += float64(a.At(i, k)) * float64(b.At(k, j))
+			}
+			c.Set(i, j, float32(s))
+		}
+	}
+	return c
+}
+
+func TestMulMatchesNaive(t *testing.T) {
+	rng := xrand.New(1)
+	shapes := [][3]int{{1, 1, 1}, {2, 3, 4}, {5, 5, 5}, {16, 8, 32}, {33, 17, 9}}
+	for _, s := range shapes {
+		a := randMatrix(rng, s[0], s[1])
+		b := randMatrix(rng, s[1], s[2])
+		got := Mul(a, b)
+		want := naiveMul(a, b)
+		if d := MaxRelDiff(got, want, 1); d > 1e-5 {
+			t.Fatalf("shape %v: rel diff %v", s, d)
+		}
+	}
+}
+
+func TestMulParallelMatchesSequential(t *testing.T) {
+	rng := xrand.New(2)
+	a := randMatrix(rng, 67, 41)
+	b := randMatrix(rng, 41, 29)
+	seq := Mul(a, b)
+	for _, threads := range []int{2, 4, 8} {
+		par := MulParallel(a, b, threads)
+		if !seq.Equal(par) {
+			t.Fatalf("threads=%d: parallel result differs", threads)
+		}
+	}
+}
+
+func TestMulShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Mul(New(2, 3), New(4, 2))
+}
+
+func TestMulToReusesOutput(t *testing.T) {
+	rng := xrand.New(3)
+	a := randMatrix(rng, 10, 10)
+	b := randMatrix(rng, 10, 10)
+	c := randMatrix(rng, 10, 10) // garbage that must be overwritten
+	MulTo(c, a, b, 1)
+	want := naiveMul(a, b)
+	if d := MaxRelDiff(c, want, 1); d > 1e-5 {
+		t.Fatalf("MulTo did not overwrite: rel diff %v", d)
+	}
+}
+
+func TestReLU(t *testing.T) {
+	m := FromRows([][]float32{{-1, 2}, {0, -0.5}})
+	m.ReLU()
+	want := FromRows([][]float32{{0, 2}, {0, 0}})
+	if !m.Equal(want) {
+		t.Fatalf("ReLU = %v", m)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := FromRows([][]float32{{1, 2, 3}, {4, 5, 6}})
+	tr := m.Transpose()
+	if tr.Rows != 3 || tr.Cols != 2 {
+		t.Fatalf("transpose shape %d×%d", tr.Rows, tr.Cols)
+	}
+	if tr.At(0, 1) != 4 || tr.At(2, 0) != 3 {
+		t.Fatalf("transpose values wrong: %v", tr)
+	}
+	if !m.Transpose().Transpose().Equal(m) {
+		t.Fatal("double transpose is not identity")
+	}
+}
+
+func TestScaleRowsCols(t *testing.T) {
+	m := FromRows([][]float32{{1, 2}, {3, 4}})
+	m.ScaleRows([]float32{2, 10})
+	want := FromRows([][]float32{{2, 4}, {30, 40}})
+	if !m.Equal(want) {
+		t.Fatalf("ScaleRows = %v", m)
+	}
+	m2 := FromRows([][]float32{{1, 2}, {3, 4}})
+	m2.ScaleCols([]float32{2, 10})
+	want2 := FromRows([][]float32{{2, 20}, {6, 40}})
+	if !m2.Equal(want2) {
+		t.Fatalf("ScaleCols = %v", m2)
+	}
+}
+
+func TestAddBiasRow(t *testing.T) {
+	m := FromRows([][]float32{{1, 2}, {3, 4}})
+	m.AddBiasRow([]float32{10, 20})
+	want := FromRows([][]float32{{11, 22}, {13, 24}})
+	if !m.Equal(want) {
+		t.Fatalf("AddBiasRow = %v", m)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := FromRows([][]float32{{1, 2}})
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestMaxDiffMetrics(t *testing.T) {
+	a := FromRows([][]float32{{1, 2}})
+	b := FromRows([][]float32{{1, 2.5}})
+	if d := MaxAbsDiff(a, b); d != 0.5 {
+		t.Fatalf("MaxAbsDiff = %v", d)
+	}
+	if d := MaxRelDiff(a, b, 1); d != 0.2 {
+		t.Fatalf("MaxRelDiff = %v", d)
+	}
+	if d := MaxAbsDiff(a, a); d != 0 {
+		t.Fatalf("self MaxAbsDiff = %v", d)
+	}
+}
+
+func TestZeroSizedMatrices(t *testing.T) {
+	a := New(0, 5)
+	b := New(5, 0)
+	c := Mul(New(0, 5), randMatrix(xrand.New(4), 5, 3))
+	if c.Rows != 0 || c.Cols != 3 {
+		t.Fatalf("0-row product shape %d×%d", c.Rows, c.Cols)
+	}
+	_ = a
+	_ = b
+}
+
+// Property: (A·B)ᵀ == Bᵀ·Aᵀ within tolerance.
+func TestMulTransposeProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		r := 1 + rng.Intn(12)
+		k := 1 + rng.Intn(12)
+		c := 1 + rng.Intn(12)
+		a := randMatrix(rng, r, k)
+		b := randMatrix(rng, k, c)
+		left := Mul(a, b).Transpose()
+		right := Mul(b.Transpose(), a.Transpose())
+		return MaxRelDiff(left, right, 1) < 1e-5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: matrix multiplication distributes over addition.
+func TestMulDistributiveProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		r := 1 + rng.Intn(10)
+		k := 1 + rng.Intn(10)
+		c := 1 + rng.Intn(10)
+		a := randMatrix(rng, r, k)
+		b1 := randMatrix(rng, k, c)
+		b2 := randMatrix(rng, k, c)
+		sum := b1.Clone().Add(b2)
+		left := Mul(a, sum)
+		right := Mul(a, b1).Add(Mul(a, b2))
+		return MaxRelDiff(left, right, 1) < 1e-4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScaleAndString(t *testing.T) {
+	m := FromRows([][]float32{{1, -2}, {3, 4}})
+	m.Scale(2)
+	want := FromRows([][]float32{{2, -4}, {6, 8}})
+	if !m.Equal(want) {
+		t.Fatalf("Scale = %v", m)
+	}
+	s := m.String()
+	if s == "" || len(s) < 10 {
+		t.Fatalf("String() = %q", s)
+	}
+	big := New(100, 100)
+	if bs := big.String(); len(bs) > 100 {
+		t.Fatalf("large matrix String should be a summary, got %d chars", len(bs))
+	}
+}
+
+func TestEqualShapeMismatch(t *testing.T) {
+	if New(2, 3).Equal(New(3, 2)) {
+		t.Fatal("different shapes reported equal")
+	}
+	a := New(1, 2)
+	b := New(1, 2)
+	b.Data[1] = 5
+	if a.Equal(b) {
+		t.Fatal("different contents reported equal")
+	}
+}
+
+func TestNewPanicsOnNegativeShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(-1, 2)
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FromRows([][]float32{{1, 2}, {3}})
+}
+
+func TestFromRowsEmpty(t *testing.T) {
+	m := FromRows(nil)
+	if m.Rows != 0 || m.Cols != 0 {
+		t.Fatalf("empty FromRows shape %d×%d", m.Rows, m.Cols)
+	}
+}
+
+func TestAddBiasRowMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(2, 3).AddBiasRow([]float32{1})
+}
+
+func TestAddShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(2, 3).Add(New(3, 2))
+}

@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/bench"
+	"repro/internal/cbm"
+	"repro/internal/dense"
+	"repro/internal/kernels"
+	"repro/internal/staf"
+	"repro/internal/xrand"
+)
+
+// AblationRow collects the design-choice measurements DESIGN.md calls
+// out, for one dataset.
+type AblationRow struct {
+	Name string
+
+	// Tree solver: Prim MST vs Edmonds MCA at α = 0. The weights must
+	// agree (the distance graph is symmetric at α = 0); the times show
+	// why the implementation picks Prim there.
+	MSTTime, MCATime     bench.Timing
+	MSTWeight, MCAWeight int64
+
+	// Candidate cap: compression ratio and candidate count at
+	// MaxCandidates ∈ {0 (exact), 16, 4}.
+	CandUnlimited, Cand16, Cand4    int
+	RatioUnlimited, Ratio16, Ratio4 float64
+	ClusterCand, ClusterCount       int
+	RatioClustered                  float64
+
+	// Format shoot-out on AX: CSR baseline vs STAF trie vs CBM.
+	CSRTime, STAFTime, CBMTime    bench.Timing
+	CSRBytes, STAFBytes, CBMBytes int64
+	STAFNodes                     int
+}
+
+// Ablation runs the design-choice comparisons on each dataset.
+func Ablation(cfg Config) ([]AblationRow, error) {
+	cfg = cfg.Defaults()
+	ds, err := cfg.datasets()
+	if err != nil {
+		return nil, err
+	}
+	rng := xrand.New(cfg.Seed + 5000)
+	var rows []AblationRow
+	for _, d := range ds {
+		a := d.Generate(cfg.Seed)
+		row := AblationRow{Name: d.Name, CSRBytes: a.FootprintBytes()}
+
+		// (a) MST vs MCA at α = 0.
+		builder, err := cbm.NewBuilder(a, cbm.Options{Threads: cfg.Threads})
+		if err != nil {
+			return nil, err
+		}
+		var mMST, mMCA *cbm.Matrix
+		var sMST, sMCA cbm.BuildStats
+		row.MSTTime = bench.Measure(cfg.Reps, cfg.Warmup, func() {
+			mMST, sMST, err = builder.Compress(0, false)
+			if err != nil {
+				panic(err)
+			}
+		})
+		row.MCATime = bench.Measure(cfg.Reps, cfg.Warmup, func() {
+			mMCA, sMCA, err = builder.Compress(0, true)
+			if err != nil {
+				panic(err)
+			}
+		})
+		row.MSTWeight, row.MCAWeight = sMST.TreeWeight, sMCA.TreeWeight
+		_ = mMCA
+
+		// (b) candidate caps.
+		row.CandUnlimited = sMST.CandidateEdges
+		row.RatioUnlimited = float64(a.FootprintBytes()) / float64(mMST.FootprintBytes())
+		for _, cap := range []int{16, 4} {
+			m, stats, err := cbm.Compress(a, cbm.Options{Alpha: 0, Threads: cfg.Threads, MaxCandidates: cap})
+			if err != nil {
+				return nil, err
+			}
+			ratio := float64(a.FootprintBytes()) / float64(m.FootprintBytes())
+			if cap == 16 {
+				row.Cand16, row.Ratio16 = stats.CandidateEdges, ratio
+			} else {
+				row.Cand4, row.Ratio4 = stats.CandidateEdges, ratio
+			}
+		}
+
+		// (c) clustered compression.
+		mc, _, cstats, err := cbm.CompressClustered(a, cbm.Options{Alpha: 0, Threads: cfg.Threads},
+			cbm.ClusterOptions{Hashes: 2, Seed: cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
+		row.ClusterCand = cstats.CandidateEdges
+		row.ClusterCount = cstats.Clusters
+		row.RatioClustered = float64(a.FootprintBytes()) / float64(mc.FootprintBytes())
+
+		// (d) format shoot-out.
+		forest, err := staf.Build(a)
+		if err != nil {
+			return nil, err
+		}
+		row.STAFNodes = forest.NumNodes()
+		row.STAFBytes = forest.FootprintBytes()
+		row.CBMBytes = mMST.FootprintBytes()
+		b := dense.New(a.Rows, cfg.Cols)
+		rng.FillUniform(b.Data)
+		c := dense.New(a.Rows, cfg.Cols)
+		row.CSRTime = bench.Measure(cfg.Reps, cfg.Warmup, func() { kernels.SpMMTo(c, a, b, 1) })
+		row.STAFTime = bench.Measure(cfg.Reps, cfg.Warmup, func() { forest.MulTo(c, b, 1) })
+		row.CBMTime = bench.Measure(cfg.Reps, cfg.Warmup, func() { mMST.MulTo(c, b, 1) })
+
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// WriteAblation renders the three ablation tables.
+func WriteAblation(w io.Writer, rows []AblationRow) {
+	fmt.Fprintln(w, "Ablation A — compression-tree solver at α = 0 (weights must match)")
+	t := &bench.Table{Header: []string{"Graph", "Prim[s]", "Edmonds[s]", "primW", "mcaW", "agree"}}
+	for _, r := range rows {
+		t.AddRow(r.Name, r.MSTTime.String(), r.MCATime.String(),
+			fmt.Sprintf("%d", r.MSTWeight), fmt.Sprintf("%d", r.MCAWeight),
+			fmt.Sprintf("%v", r.MSTWeight == r.MCAWeight))
+	}
+	fmt.Fprint(w, t.String())
+
+	fmt.Fprintln(w, "\nAblation B — candidate memory knobs (MaxCandidates, MinHash clustering)")
+	t = &bench.Table{Header: []string{
+		"Graph", "cand(exact)", "ratio", "cand(16)", "ratio16", "cand(4)", "ratio4",
+		"cand(clustered)", "ratioClu", "clusters",
+	}}
+	for _, r := range rows {
+		t.AddRow(r.Name,
+			fmt.Sprintf("%d", r.CandUnlimited), fmt.Sprintf("%.2f", r.RatioUnlimited),
+			fmt.Sprintf("%d", r.Cand16), fmt.Sprintf("%.2f", r.Ratio16),
+			fmt.Sprintf("%d", r.Cand4), fmt.Sprintf("%.2f", r.Ratio4),
+			fmt.Sprintf("%d", r.ClusterCand), fmt.Sprintf("%.2f", r.RatioClustered),
+			fmt.Sprintf("%d", r.ClusterCount),
+		)
+	}
+	fmt.Fprint(w, t.String())
+
+	fmt.Fprintln(w, "\nAblation C — format shoot-out on AX (sequential)")
+	t = &bench.Table{Header: []string{
+		"Graph", "CSR[s]", "STAF[s]", "CBM[s]", "S_CSR[MiB]", "S_STAF[MiB]", "S_CBM[MiB]", "trieNodes",
+	}}
+	for _, r := range rows {
+		t.AddRow(r.Name,
+			r.CSRTime.String(), r.STAFTime.String(), r.CBMTime.String(),
+			bench.MiB(r.CSRBytes), bench.MiB(r.STAFBytes), bench.MiB(r.CBMBytes),
+			fmt.Sprintf("%d", r.STAFNodes),
+		)
+	}
+	fmt.Fprint(w, t.String())
+}

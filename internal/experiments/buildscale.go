@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/bench"
+	"repro/internal/cbm"
+	"repro/internal/synth"
+)
+
+// BuildScalePoint measures CBM construction at one graph size.
+type BuildScalePoint struct {
+	Nodes          int
+	NNZ            int
+	CandidateSecs  float64
+	TreeSecs       float64
+	DeltaSecs      float64
+	TotalSecs      float64
+	CandidateEdges int
+}
+
+// BuildScale measures how construction time grows with n on a fixed-
+// degree SBM family — the empirical check of Lemma 1's
+// O(n·nnz + n² log n) bound. Because average degree is held constant,
+// nnz ∝ n and the candidate pass (the dominant phase) should scale
+// near-linearly in n; the log-log slope between consecutive sizes is
+// reported so the trend is visible without plotting.
+func BuildScale(cfg Config, sizes []int) ([]BuildScalePoint, error) {
+	cfg = cfg.Defaults()
+	if len(sizes) == 0 {
+		sizes = []int{4000, 8000, 16000, 32000}
+	}
+	var out []BuildScalePoint
+	for _, n := range sizes {
+		a := synth.SBMGroups(n, 40, 0.85, 0.5, cfg.Seed)
+		var stats cbm.BuildStats
+		timing := bench.Measure(cfg.Reps, cfg.Warmup, func() {
+			var err error
+			_, stats, err = cbm.Compress(a, cbm.Options{Alpha: 0, Threads: cfg.Threads})
+			if err != nil {
+				panic(err)
+			}
+		})
+		out = append(out, BuildScalePoint{
+			Nodes:          n,
+			NNZ:            a.NNZ(),
+			CandidateSecs:  stats.CandidateTime.Seconds(),
+			TreeSecs:       stats.TreeTime.Seconds(),
+			DeltaSecs:      stats.DeltaTime.Seconds(),
+			TotalSecs:      timing.Seconds(),
+			CandidateEdges: stats.CandidateEdges,
+		})
+	}
+	return out, nil
+}
+
+// WriteBuildScale renders the scaling table with log-log slopes.
+func WriteBuildScale(w io.Writer, points []BuildScalePoint) {
+	fmt.Fprintln(w, "Construction scaling — Lemma 1 check on a fixed-degree SBM family")
+	t := &bench.Table{Header: []string{
+		"n", "nnz", "total[s]", "cand[s]", "tree[s]", "delta[s]", "slope(total)",
+	}}
+	for i, p := range points {
+		slope := "-"
+		if i > 0 {
+			prev := points[i-1]
+			num := math.Log(p.TotalSecs / prev.TotalSecs)
+			den := math.Log(float64(p.Nodes) / float64(prev.Nodes))
+			if den != 0 {
+				slope = fmt.Sprintf("%.2f", num/den)
+			}
+		}
+		t.AddRow(
+			fmt.Sprintf("%d", p.Nodes),
+			fmt.Sprintf("%d", p.NNZ),
+			fmt.Sprintf("%.3f", p.TotalSecs),
+			fmt.Sprintf("%.3f", p.CandidateSecs),
+			fmt.Sprintf("%.3f", p.TreeSecs),
+			fmt.Sprintf("%.3f", p.DeltaSecs),
+			slope,
+		)
+	}
+	fmt.Fprint(w, t.String())
+	fmt.Fprintln(w, "slope ≈ 1 ⇒ linear in n at fixed degree (the candidate pass dominates)")
+}

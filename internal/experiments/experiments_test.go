@@ -1,0 +1,329 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// fastCfg runs every experiment on the smallest dataset with minimal
+// timing work, so the drivers stay covered without a benchmark budget.
+func fastCfg() Config {
+	return Config{
+		Seed:     1,
+		Threads:  2,
+		Cols:     8,
+		Reps:     1,
+		Warmup:   0,
+		Datasets: []string{"cora"},
+		Alphas:   []int{0, 4},
+	}
+}
+
+func TestTable1Driver(t *testing.T) {
+	rows, err := Table1(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Name != "cora" {
+		t.Fatalf("rows = %+v", rows)
+	}
+	if rows[0].Nodes != 2708 || rows[0].CSRBytes <= 0 {
+		t.Fatalf("row = %+v", rows[0])
+	}
+	var buf bytes.Buffer
+	WriteTable1(&buf, rows)
+	if !strings.Contains(buf.String(), "cora") || !strings.Contains(buf.String(), "Table I") {
+		t.Fatalf("output:\n%s", buf.String())
+	}
+}
+
+func TestTable2Driver(t *testing.T) {
+	rows, err := Table2(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 { // α = 0 and α = 32
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.Ratio <= 0 || r.CBMBytes <= 0 {
+			t.Fatalf("row = %+v", r)
+		}
+	}
+	if rows[0].Alpha != 0 || rows[1].Alpha != 32 {
+		t.Fatalf("alphas = %d, %d", rows[0].Alpha, rows[1].Alpha)
+	}
+	var buf bytes.Buffer
+	WriteTable2(&buf, rows)
+	if !strings.Contains(buf.String(), "Table II") {
+		t.Fatal("missing header")
+	}
+}
+
+func TestFig2Driver(t *testing.T) {
+	series, err := Fig2(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 1 || len(series[0].Points) != 2 {
+		t.Fatalf("series = %+v", series)
+	}
+	for _, p := range series[0].Points {
+		if p.SeqSpeedup <= 0 || p.ParSpeedup <= 0 || p.Ratio <= 0 || p.Modeled16 <= 0 {
+			t.Fatalf("point = %+v", p)
+		}
+		if p.DeltaNNZ > p.MatNNZ {
+			t.Fatalf("Property 1 violated in sweep: %+v", p)
+		}
+	}
+	seqA, parA := series[0].BestAlphas()
+	if (seqA != 0 && seqA != 4) || (parA != 0 && parA != 4) {
+		t.Fatalf("best alphas %d %d not in sweep", seqA, parA)
+	}
+	var buf bytes.Buffer
+	WriteFig2(&buf, series)
+	if !strings.Contains(buf.String(), "Fig. 2") {
+		t.Fatal("missing header")
+	}
+}
+
+func TestTable3Driver(t *testing.T) {
+	rows, err := Table3(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 { // 1 core + cfg.Threads cores
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		for name, cell := range map[string]Table3Cell{"AX": r.AX, "ADX": r.ADX, "DADX": r.DADX} {
+			if cell.Speedup <= 0 || cell.CSR.Seconds() <= 0 || cell.CBM.Seconds() <= 0 {
+				t.Fatalf("%s cell = %+v", name, cell)
+			}
+		}
+	}
+	if rows[0].Threads != 1 || rows[1].Threads != 2 {
+		t.Fatalf("threads = %d, %d", rows[0].Threads, rows[1].Threads)
+	}
+	var buf bytes.Buffer
+	WriteTable3(&buf, rows)
+	if !strings.Contains(buf.String(), "Table III") {
+		t.Fatal("missing header")
+	}
+}
+
+func TestTable4Driver(t *testing.T) {
+	rows, err := Table4(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Speedup <= 0 {
+			t.Fatalf("row = %+v", r)
+		}
+	}
+	var buf bytes.Buffer
+	WriteTable4(&buf, rows)
+	if !strings.Contains(buf.String(), "Table IV") {
+		t.Fatal("missing header")
+	}
+}
+
+func TestTable5Driver(t *testing.T) {
+	cfg := fastCfg()
+	cfg.Datasets = []string{"cora", "ca-hepph"}
+	rows, err := Table5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	// sorted ascending by ratio
+	if rows[0].Ratio > rows[1].Ratio {
+		t.Fatalf("rows not sorted: %v > %v", rows[0].Ratio, rows[1].Ratio)
+	}
+	var buf bytes.Buffer
+	WriteTable5(&buf, rows)
+	if !strings.Contains(buf.String(), "Spearman") {
+		t.Fatal("missing correlation line")
+	}
+}
+
+func TestSpearman(t *testing.T) {
+	rows := []Table5Row{
+		{Clustering: 0.1, Ratio: 1},
+		{Clustering: 0.2, Ratio: 2},
+		{Clustering: 0.3, Ratio: 3},
+	}
+	if got := SpearmanRankCorrelation(rows); got != 1 {
+		t.Fatalf("perfect ranking correlation = %v, want 1", got)
+	}
+	rows[0].Ratio, rows[2].Ratio = 3, 1
+	if got := SpearmanRankCorrelation(rows); got != -1 {
+		t.Fatalf("inverted ranking correlation = %v, want -1", got)
+	}
+	if got := SpearmanRankCorrelation(rows[:1]); got != 0 {
+		t.Fatalf("degenerate correlation = %v, want 0", got)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cfg := fastCfg()
+	cfg.Datasets = []string{"nonsense"}
+	if _, err := Table1(cfg); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+	def := Config{}.Defaults()
+	if def.Cols != 128 || def.Reps != 5 || len(def.Alphas) != 7 {
+		t.Fatalf("defaults = %+v", def)
+	}
+}
+
+func TestVerifyDriver(t *testing.T) {
+	rows, err := Verify(fastCfg(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || !rows[0].Pass {
+		t.Fatalf("rows = %+v", rows)
+	}
+	var buf bytes.Buffer
+	WriteVerify(&buf, rows)
+	if !strings.Contains(buf.String(), "PASS") {
+		t.Fatal("missing PASS")
+	}
+}
+
+func TestAblationDriver(t *testing.T) {
+	rows, err := Ablation(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	r := rows[0]
+	if r.MSTWeight != r.MCAWeight {
+		t.Fatalf("MST weight %d != MCA weight %d at alpha 0", r.MSTWeight, r.MCAWeight)
+	}
+	if r.Cand16 > r.CandUnlimited || r.Cand4 > r.Cand16 {
+		t.Fatalf("candidate caps not monotone: %d %d %d", r.CandUnlimited, r.Cand16, r.Cand4)
+	}
+	if r.ClusterCand > r.CandUnlimited {
+		t.Fatal("clustering increased candidates")
+	}
+	if r.STAFNodes <= 0 || r.STAFBytes <= 0 {
+		t.Fatalf("STAF stats missing: %+v", r)
+	}
+	var buf bytes.Buffer
+	WriteAblation(&buf, rows)
+	for _, want := range []string{"Ablation A", "Ablation B", "Ablation C"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("missing %q", want)
+		}
+	}
+}
+
+func TestGNNSuiteDriver(t *testing.T) {
+	rows, err := GNNSuite(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 { // GCN, GIN, SAGE on one dataset
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.MaxRelDiff > 1e-4 {
+			t.Fatalf("%s/%s: backends disagree (%v)", r.Name, r.Architecture, r.MaxRelDiff)
+		}
+		if r.Speedup <= 0 {
+			t.Fatalf("row = %+v", r)
+		}
+	}
+	var buf bytes.Buffer
+	WriteGNNSuite(&buf, rows)
+	for _, want := range []string{"GCN", "GIN", "SAGE"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("missing %q", want)
+		}
+	}
+}
+
+func TestScalingDriver(t *testing.T) {
+	series, err := Scaling(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 1 || len(series[0].Points) < 2 {
+		t.Fatalf("series = %+v", series)
+	}
+	if series[0].Points[0].Threads != 1 {
+		t.Fatalf("first point threads = %d", series[0].Points[0].Threads)
+	}
+	for _, p := range series[0].Points {
+		if p.Speedup <= 0 || p.ModeledSpeedup <= 0 || p.CSRScale <= 0 {
+			t.Fatalf("point = %+v", p)
+		}
+	}
+	var buf bytes.Buffer
+	WriteScaling(&buf, series)
+	if !strings.Contains(buf.String(), "Strong scaling") {
+		t.Fatal("missing header")
+	}
+}
+
+func TestMemWallDriver(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compresses the Reddit analog four ways")
+	}
+	rows, err := MemWall(Config{Seed: 1, Threads: 2, Reps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	exact := rows[0]
+	if exact.AATPairs <= int64(exact.CandidateEdges) {
+		t.Fatalf("AAT pairs %d should dominate stored candidates %d",
+			exact.AATPairs, exact.CandidateEdges)
+	}
+	for _, r := range rows[1:] {
+		if r.CandidateEdges > exact.CandidateEdges {
+			t.Fatalf("%s stored more candidates than exact", r.Strategy)
+		}
+	}
+	var buf bytes.Buffer
+	WriteMemWall(&buf, rows)
+	if !strings.Contains(buf.String(), "Memory wall") {
+		t.Fatal("missing header")
+	}
+}
+
+func TestBuildScaleDriver(t *testing.T) {
+	points, err := BuildScale(Config{Seed: 1, Threads: 2, Reps: 1}, []int{600, 1200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	if points[1].Nodes != 2*points[0].Nodes {
+		t.Fatalf("sizes wrong: %d %d", points[0].Nodes, points[1].Nodes)
+	}
+	for _, p := range points {
+		if p.TotalSecs <= 0 || p.NNZ <= 0 {
+			t.Fatalf("point = %+v", p)
+		}
+	}
+	var buf bytes.Buffer
+	WriteBuildScale(&buf, points)
+	if !strings.Contains(buf.String(), "Lemma 1") {
+		t.Fatal("missing header")
+	}
+}

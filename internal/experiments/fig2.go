@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/bench"
+	"repro/internal/cbm"
+	"repro/internal/costmodel"
+	"repro/internal/dense"
+	"repro/internal/kernels"
+	"repro/internal/plot"
+	"repro/internal/xrand"
+)
+
+// Fig2Point is one (dataset, α) measurement of the AX sweep: the
+// paper's Fig. 2 plots sequential speedup, parallel speedup and
+// compression ratio against α.
+type Fig2Point struct {
+	Alpha            int
+	Ratio            float64
+	SeqSpeedup       float64
+	ParSpeedup       float64
+	SeqCBM, SeqCSR   bench.Timing
+	ParCBM, ParCSR   bench.Timing
+	VirtualChildren  int
+	DeltaNNZ, MatNNZ int
+	// Modeled16 is the machine-independent modeled speedup on 16
+	// abstract workers (the paper's core count); see internal/costmodel.
+	// It is what reproduces the paper's "parallel speedup grows with α
+	// while compression shrinks" effect when the harness host has fewer
+	// cores than the paper's testbed.
+	Modeled16 float64
+}
+
+// Fig2Series is the full sweep for one dataset.
+type Fig2Series struct {
+	Name   string
+	Points []Fig2Point
+	// Paper reference: best speedups (at the per-setting best α).
+	PaperSeqSpeedup, PaperParSpeedup float64
+}
+
+// Fig2 sweeps α over each dataset and measures AX with the CBM format
+// against the CSR baseline, sequentially and with cfg.Threads workers.
+// The candidate graph is built once per dataset and reused across the
+// sweep (the Builder API exists for exactly this).
+func Fig2(cfg Config) ([]Fig2Series, error) {
+	cfg = cfg.Defaults()
+	ds, err := cfg.datasets()
+	if err != nil {
+		return nil, err
+	}
+	rng := xrand.New(cfg.Seed + 1000)
+	var out []Fig2Series
+	for _, d := range ds {
+		a := d.Generate(cfg.Seed)
+		b := dense.New(a.Rows, cfg.Cols)
+		rng.FillUniform(b.Data)
+		c := dense.New(a.Rows, cfg.Cols)
+
+		seqCSR := bench.Measure(cfg.Reps, cfg.Warmup, func() { kernels.SpMMTo(c, a, b, 1) })
+		parCSR := bench.Measure(cfg.Reps, cfg.Warmup, func() { kernels.SpMMTo(c, a, b, cfg.Threads) })
+
+		builder, err := cbm.NewBuilder(a, cbm.Options{Threads: cfg.Threads})
+		if err != nil {
+			return nil, err
+		}
+		series := Fig2Series{
+			Name:            d.Name,
+			PaperSeqSpeedup: d.Paper.SpeedupAXSeq,
+			PaperParSpeedup: d.Paper.SpeedupAXPar,
+		}
+		for _, alpha := range cfg.Alphas {
+			m, stats, err := builder.Compress(alpha, false)
+			if err != nil {
+				return nil, err
+			}
+			seqCBM := bench.Measure(cfg.Reps, cfg.Warmup, func() { m.MulTo(c, b, 1) })
+			parCBM := bench.Measure(cfg.Reps, cfg.Warmup, func() { m.MulTo(c, b, cfg.Threads) })
+			series.Points = append(series.Points, Fig2Point{
+				Alpha:           alpha,
+				Ratio:           float64(a.FootprintBytes()) / float64(m.FootprintBytes()),
+				SeqSpeedup:      seqCSR.Seconds() / seqCBM.Seconds(),
+				ParSpeedup:      parCSR.Seconds() / parCBM.Seconds(),
+				SeqCBM:          seqCBM,
+				SeqCSR:          seqCSR,
+				ParCBM:          parCBM,
+				ParCSR:          parCSR,
+				VirtualChildren: stats.VirtualKids,
+				DeltaNNZ:        m.NumDeltas(),
+				MatNNZ:          a.NNZ(),
+				Modeled16:       costmodel.ModeledSpeedup(a, m, cfg.Cols, 16),
+			})
+		}
+		out = append(out, series)
+	}
+	return out, nil
+}
+
+// WriteFig2 renders each dataset's sweep as a paper-style series table
+// (one sub-plot of Fig. 2 per block).
+func WriteFig2(w io.Writer, series []Fig2Series) {
+	fmt.Fprintln(w, "Fig. 2 — impact of α on AX with the CBM format (speedup vs CSR, plus compression ratio)")
+	for _, s := range series {
+		fmt.Fprintf(w, "\n[%s]  (paper best speedups: seq %.2f×, par %.2f×)\n",
+			s.Name, s.PaperSeqSpeedup, s.PaperParSpeedup)
+		t := &bench.Table{Header: []string{
+			"alpha", "seqSpeedup", "parSpeedup", "modeled16", "ratio", "rootKids", "deltaNNZ/nnz",
+		}}
+		for _, p := range s.Points {
+			t.AddRow(
+				fmt.Sprintf("%d", p.Alpha),
+				fmt.Sprintf("%.2f", p.SeqSpeedup),
+				fmt.Sprintf("%.2f", p.ParSpeedup),
+				fmt.Sprintf("%.2f", p.Modeled16),
+				fmt.Sprintf("%.2f", p.Ratio),
+				fmt.Sprintf("%d", p.VirtualChildren),
+				fmt.Sprintf("%.3f", float64(p.DeltaNNZ)/float64(maxInt(p.MatNNZ, 1))),
+			)
+		}
+		fmt.Fprint(w, t.String())
+		fmt.Fprint(w, fig2Plot(s))
+	}
+}
+
+// fig2Plot renders one dataset's sweep as the ASCII analog of a Fig. 2
+// sub-plot: speedups and compression ratio against α.
+func fig2Plot(s Fig2Series) string {
+	labels := make([]string, len(s.Points))
+	seq := make([]float64, len(s.Points))
+	par := make([]float64, len(s.Points))
+	ratio := make([]float64, len(s.Points))
+	for i, p := range s.Points {
+		labels[i] = fmt.Sprintf("%d", p.Alpha)
+		seq[i] = p.SeqSpeedup
+		par[i] = p.ParSpeedup
+		ratio[i] = p.Ratio
+	}
+	c := &plot.Chart{
+		XLabels: labels,
+		Series: []plot.Series{
+			{Name: "sequential speedup", Glyph: 's', Values: seq},
+			{Name: "parallel speedup", Glyph: 'p', Values: par},
+			{Name: "compression ratio", Glyph: 'r', Values: ratio},
+		},
+		Height: 10,
+	}
+	return c.Render()
+}
+
+// BestAlphas returns the α with the highest sequential and parallel
+// speedup for one sweep series.
+func (s Fig2Series) BestAlphas() (seqAlpha, parAlpha int) {
+	bestSeq, bestPar := -1.0, -1.0
+	for _, p := range s.Points {
+		if p.SeqSpeedup > bestSeq {
+			bestSeq, seqAlpha = p.SeqSpeedup, p.Alpha
+		}
+		if p.ParSpeedup > bestPar {
+			bestPar, parAlpha = p.ParSpeedup, p.Alpha
+		}
+	}
+	return seqAlpha, parAlpha
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

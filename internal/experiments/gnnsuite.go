@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/bench"
+	"repro/internal/cbm"
+	"repro/internal/dense"
+	"repro/internal/gnn"
+	"repro/internal/xrand"
+)
+
+// GNNSuiteRow measures one (dataset, architecture) pair on both
+// adjacency backends — the paper's future-work direction "integrate
+// and evaluate the CBM format in the context of different GNN
+// architectures" (GCN, GIN, GraphSAGE are the ones Sec. II names).
+type GNNSuiteRow struct {
+	Name         string
+	Architecture string
+	Alpha        int
+	CSR, CBM     bench.Timing
+	Speedup      float64
+	MaxRelDiff   float64 // CSR vs CBM output agreement
+}
+
+// GNNSuite times single-layer forward passes of GCN, GIN and GraphSAGE
+// on both backends and cross-checks their outputs.
+func GNNSuite(cfg Config) ([]GNNSuiteRow, error) {
+	cfg = cfg.Defaults()
+	ds, err := cfg.datasets()
+	if err != nil {
+		return nil, err
+	}
+	rng := xrand.New(cfg.Seed + 6000)
+	var rows []GNNSuiteRow
+	for _, d := range ds {
+		a := d.Generate(cfg.Seed)
+		alpha := d.Paper.BestAlphaPar
+		csrB, err := gnn.NewCSRBackend(a)
+		if err != nil {
+			return nil, err
+		}
+		cbmB, _, err := gnn.NewCBMBackend(a, cbm.Options{Alpha: alpha, Threads: cfg.Threads})
+		if err != nil {
+			return nil, err
+		}
+		x := dense.New(a.Rows, cfg.Cols)
+		rng.FillUniform(x.Data)
+		lrng := xrand.New(cfg.Seed + 7000)
+
+		gcn := gnn.NewGCNConv(cfg.Cols, cfg.Cols, lrng)
+		gin := gnn.NewGINConv(cfg.Cols, cfg.Cols, cfg.Cols, 0.1, lrng)
+		sage := gnn.NewSAGEConv(cfg.Cols, cfg.Cols, lrng)
+
+		type arch struct {
+			name    string
+			forward func(gnn.Adjacency) *dense.Matrix
+		}
+		archs := []arch{
+			{"GCN", func(b gnn.Adjacency) *dense.Matrix { return gcn.Forward(b, x, cfg.Threads) }},
+			{"GIN", func(b gnn.Adjacency) *dense.Matrix { return gin.Forward(b, x, cfg.Threads) }},
+			{"SAGE", func(b gnn.Adjacency) *dense.Matrix { return sage.Forward(b, x, cfg.Threads) }},
+		}
+		for _, ar := range archs {
+			zCSR := ar.forward(csrB)
+			zCBM := ar.forward(cbmB)
+			diff := dense.MaxRelDiff(zCSR, zCBM, 1)
+			tCSR := bench.Measure(cfg.Reps, cfg.Warmup, func() { ar.forward(csrB) })
+			tCBM := bench.Measure(cfg.Reps, cfg.Warmup, func() { ar.forward(cbmB) })
+			rows = append(rows, GNNSuiteRow{
+				Name:         d.Name,
+				Architecture: ar.name,
+				Alpha:        alpha,
+				CSR:          tCSR,
+				CBM:          tCBM,
+				Speedup:      tCSR.Seconds() / tCBM.Seconds(),
+				MaxRelDiff:   diff,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// WriteGNNSuite renders the architecture comparison.
+func WriteGNNSuite(w io.Writer, rows []GNNSuiteRow) {
+	t := &bench.Table{Header: []string{
+		"Graph", "Layer", "Alpha", "T_CSR[s]", "T_CBM[s]", "Speedup", "maxRelDiff",
+	}}
+	for _, r := range rows {
+		t.AddRow(r.Name, r.Architecture,
+			fmt.Sprintf("%d", r.Alpha),
+			r.CSR.String(), r.CBM.String(),
+			fmt.Sprintf("%.2f", r.Speedup),
+			fmt.Sprintf("%.2e", r.MaxRelDiff),
+		)
+	}
+	fmt.Fprintln(w, "GNN architecture suite — single-layer forward pass, CSR vs CBM backends")
+	fmt.Fprint(w, t.String())
+}

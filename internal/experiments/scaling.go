@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/bench"
+	"repro/internal/cbm"
+	"repro/internal/costmodel"
+	"repro/internal/dense"
+	"repro/internal/kernels"
+	"repro/internal/parallel"
+	"repro/internal/xrand"
+)
+
+// ScalingPoint is one (threads) measurement of the AX product for both
+// formats, plus the cost model's prediction for the same worker count.
+type ScalingPoint struct {
+	Threads        int
+	CSR, CBM       bench.Timing
+	Speedup        float64 // CSR/CBM at this thread count
+	ModeledSpeedup float64
+	CSRScale       float64 // T(1)/T(p) for the CSR kernel
+	CBMScale       float64 // T(1)/T(p) for the CBM kernel
+}
+
+// ScalingSeries is the strong-scaling sweep for one dataset.
+type ScalingSeries struct {
+	Name   string
+	Alpha  int
+	Points []ScalingPoint
+}
+
+// Scaling sweeps the worker count over {1, 2, 4, …} up to
+// max(cfg.Threads, GOMAXPROCS) — the paper's 1-core vs 16-core axis —
+// measuring AX under both formats and reporting the cost model's
+// prediction next to wall-clock. On hosts with fewer cores than
+// workers, wall-clock flattens while the model keeps the paper's
+// trend; the pair makes that gap explicit.
+func Scaling(cfg Config) ([]ScalingSeries, error) {
+	cfg = cfg.Defaults()
+	ds, err := cfg.datasets()
+	if err != nil {
+		return nil, err
+	}
+	maxThreads := cfg.Threads
+	if p := parallel.DefaultThreads(); p > maxThreads {
+		maxThreads = p
+	}
+	var threadSteps []int
+	for p := 1; p <= maxThreads; p *= 2 {
+		threadSteps = append(threadSteps, p)
+	}
+	if last := threadSteps[len(threadSteps)-1]; last != maxThreads {
+		threadSteps = append(threadSteps, maxThreads)
+	}
+
+	rng := xrand.New(cfg.Seed + 8000)
+	var out []ScalingSeries
+	for _, d := range ds {
+		a := d.Generate(cfg.Seed)
+		alpha := d.Paper.BestAlphaPar
+		m, _, err := cbm.Compress(a, cbm.Options{Alpha: alpha, Threads: cfg.Threads})
+		if err != nil {
+			return nil, err
+		}
+		b := dense.New(a.Rows, cfg.Cols)
+		rng.FillUniform(b.Data)
+		c := dense.New(a.Rows, cfg.Cols)
+
+		series := ScalingSeries{Name: d.Name, Alpha: alpha}
+		var csr1, cbm1 float64
+		for _, p := range threadSteps {
+			p := p
+			tCSR := bench.Measure(cfg.Reps, cfg.Warmup, func() { kernels.SpMMTo(c, a, b, p) })
+			tCBM := bench.Measure(cfg.Reps, cfg.Warmup, func() { m.MulTo(c, b, p) })
+			if p == 1 {
+				csr1, cbm1 = tCSR.Seconds(), tCBM.Seconds()
+			}
+			series.Points = append(series.Points, ScalingPoint{
+				Threads:        p,
+				CSR:            tCSR,
+				CBM:            tCBM,
+				Speedup:        tCSR.Seconds() / tCBM.Seconds(),
+				ModeledSpeedup: costmodel.ModeledSpeedup(a, m, cfg.Cols, p),
+				CSRScale:       csr1 / tCSR.Seconds(),
+				CBMScale:       cbm1 / tCBM.Seconds(),
+			})
+		}
+		out = append(out, series)
+	}
+	return out, nil
+}
+
+// WriteScaling renders the strong-scaling tables.
+func WriteScaling(w io.Writer, series []ScalingSeries) {
+	fmt.Fprintln(w, "Strong scaling — AX wall-clock and modeled speedups per worker count")
+	for _, s := range series {
+		fmt.Fprintf(w, "\n[%s]  (α = %d)\n", s.Name, s.Alpha)
+		t := &bench.Table{Header: []string{
+			"threads", "T_CSR[s]", "T_CBM[s]", "CBMspeedup", "modeled", "CSRscale", "CBMscale",
+		}}
+		for _, p := range s.Points {
+			t.AddRow(
+				fmt.Sprintf("%d", p.Threads),
+				p.CSR.String(), p.CBM.String(),
+				fmt.Sprintf("%.2f", p.Speedup),
+				fmt.Sprintf("%.2f", p.ModeledSpeedup),
+				fmt.Sprintf("%.2f", p.CSRScale),
+				fmt.Sprintf("%.2f", p.CBMScale),
+			)
+		}
+		fmt.Fprint(w, t.String())
+	}
+}

@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/cbm"
+	"repro/internal/dense"
+	"repro/internal/graph"
+	"repro/internal/kernels"
+	"repro/internal/sparse"
+	"repro/internal/synth"
+	"repro/internal/xrand"
+)
+
+// Shape-regression tests: they assert the *qualitative* results of the
+// paper on fast miniature analogs, so a future change that silently
+// breaks the reproduction (e.g. a tree-construction regression that
+// kills compression) fails `go test` rather than only showing up in a
+// manual benchmark run. Thresholds are deliberately loose — they
+// encode "who wins", not absolute numbers.
+
+func mustCompress(t *testing.T, a *sparse.CSR, opt cbm.Options) (*cbm.Matrix, cbm.BuildStats) {
+	t.Helper()
+	m, stats, err := cbm.Compress(a, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, stats
+}
+
+func ratioOf(a *sparse.CSR, m *cbm.Matrix) float64 {
+	return float64(a.FootprintBytes()) / float64(m.FootprintBytes())
+}
+
+func TestShapeCompressionOrdering(t *testing.T) {
+	// Paper Table II ordering: collab ≫ co-authorship > citation ≈ 1.
+	citation := synth.HolmeKim(2000, 2, 0.45, 1)
+	coauthor := synth.SBMGroups(2000, 24, 0.7, 1.0, 1)
+	collab := synth.SBMGroups(2000, 70, 0.95, 0.3, 1)
+
+	mCit, _ := mustCompress(t, citation, cbm.Options{})
+	mCoa, _ := mustCompress(t, coauthor, cbm.Options{})
+	mCol, _ := mustCompress(t, collab, cbm.Options{})
+	rCit, rCoa, rCol := ratioOf(citation, mCit), ratioOf(coauthor, mCoa), ratioOf(collab, mCol)
+
+	if !(rCol > rCoa && rCoa > rCit) {
+		t.Fatalf("compression ordering broken: collab %.2f, coauthor %.2f, citation %.2f",
+			rCol, rCoa, rCit)
+	}
+	if rCit > 1.3 {
+		t.Fatalf("citation graph should not compress (ratio %.2f)", rCit)
+	}
+	if rCol < 3 {
+		t.Fatalf("collab regime should compress ≫ 1 (ratio %.2f)", rCol)
+	}
+}
+
+func TestShapeSpeedupTracksCompression(t *testing.T) {
+	// Paper Fig. 2: CBM wins where compression is high, roughly ties
+	// where it is absent. Measured with scalar-operation counts
+	// (deterministic) rather than wall-clock.
+	check := func(name string, a *sparse.CSR, m *cbm.Matrix, wantWin bool) {
+		t.Helper()
+		ops := 2 * m.NumDeltas()
+		for x := 0; x < m.Rows(); x++ {
+			if m.Parent(x) >= 0 {
+				ops += 2
+			}
+		}
+		baseline := 2 * a.NNZ()
+		win := float64(baseline) > 1.5*float64(ops)
+		if win != wantWin {
+			t.Fatalf("%s: ops %d vs baseline %d (win=%v, want %v)",
+				name, ops, baseline, win, wantWin)
+		}
+	}
+	collab := synth.SBMGroups(1500, 60, 0.95, 0.3, 2)
+	mc, _ := mustCompress(t, collab, cbm.Options{})
+	check("collab", collab, mc, true)
+
+	citation := synth.HolmeKim(1500, 2, 0.3, 2)
+	mcit, _ := mustCompress(t, citation, cbm.Options{})
+	check("citation", citation, mcit, false)
+}
+
+func TestShapeAlphaParallelismTradeoff(t *testing.T) {
+	// Paper Sec. V-C: raising α must increase root fan-out and never
+	// improve compression.
+	a := synth.SBMGroups(1200, 40, 0.9, 0.3, 3)
+	b, err := cbm.NewBuilder(a, cbm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevKids, prevDeltas := -1, -1
+	for _, alpha := range []int{0, 4, 16, 64} {
+		m, stats, err := b.Compress(alpha, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prevKids > stats.VirtualKids {
+			t.Fatalf("alpha=%d: fan-out decreased", alpha)
+		}
+		if prevDeltas > m.NumDeltas() {
+			t.Fatalf("alpha=%d: compression improved with pruning", alpha)
+		}
+		prevKids, prevDeltas = stats.VirtualKids, m.NumDeltas()
+	}
+}
+
+func TestShapeGCNDilution(t *testing.T) {
+	// Paper Table IV: the GCN pipeline dilutes the raw DADX advantage
+	// because the dense X·W products are format-independent. Check via
+	// operation counts: the modeled GCN speedup is strictly between 1
+	// and the raw product speedup on a collab-regime graph.
+	a := synth.SBMGroups(1000, 50, 0.93, 0.3, 4)
+	na, err := graph.NewNormalizedAdjacency(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _, err := cbm.Compress(na.Binary, cbm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols := 64
+	sparseCSR := 2 * na.Binary.NNZ() * cols
+	sparseCBM := 2*m.NumDeltas()*cols + 3*m.Rows()*cols // DAD update incl. scaling
+	denseWork := 2 * 2 * a.Rows * cols * cols           // two X·W products
+	rawSpeedup := float64(sparseCSR) / float64(sparseCBM)
+	gcnSpeedup := float64(2*sparseCSR+denseWork) / float64(2*sparseCBM+denseWork)
+	if gcnSpeedup >= rawSpeedup {
+		t.Fatalf("GCN speedup %.2f should be diluted below raw %.2f", gcnSpeedup, rawSpeedup)
+	}
+	if gcnSpeedup <= 1 {
+		t.Fatalf("GCN modeled speedup %.2f should still exceed 1 on a collab graph", gcnSpeedup)
+	}
+}
+
+func TestShapeKernelAgreementAcrossRegimes(t *testing.T) {
+	// The paper's bottom-line correctness claim, on every regime.
+	rng := xrand.New(5)
+	regimes := map[string]*sparse.CSR{
+		"citation": synth.HolmeKim(600, 2, 0.4, 6),
+		"coauthor": synth.SBMGroups(600, 20, 0.7, 0.5, 6),
+		"collab":   synth.SBMGroups(600, 50, 0.95, 0.3, 6),
+		"protein":  synth.HubTemplate(650, 150, 170, 0.8, 0.1, 0.5, 6),
+	}
+	for name, a := range regimes {
+		m, _ := mustCompress(t, a, cbm.Options{Alpha: 2})
+		b := dense.New(a.Rows, 16)
+		rng.FillUniform(b.Data)
+		got := m.MulParallel(b, 2)
+		want := kernels.SpMMParallel(a, b, 2)
+		if d := dense.MaxRelDiff(got, want, 1); d > 1e-5 {
+			t.Fatalf("%s: kernels disagree (%v)", name, d)
+		}
+	}
+}
+
+func TestShapeProteinAnomaly(t *testing.T) {
+	// Paper Table V: ogbn-proteins compresses better than its
+	// clustering coefficient predicts. The protein analog must show
+	// lower clustering than the co-authorship analog yet compress at
+	// least as well.
+	coauthor := synth.SBMGroups(1200, 24, 0.62, 1.0, 7)
+	protein := synth.HubTemplate(1300, 300, 350, 0.8, 0.1, 1.0, 7)
+
+	ccCoa := graph.AverageClusteringCoefficient(coauthor, 2)
+	ccPro := graph.AverageClusteringCoefficient(protein, 2)
+	mCoa, _ := mustCompress(t, coauthor, cbm.Options{})
+	mPro, _ := mustCompress(t, protein, cbm.Options{})
+	rCoa, rPro := ratioOf(coauthor, mCoa), ratioOf(protein, mPro)
+
+	if ccPro >= ccCoa {
+		t.Fatalf("protein clustering %.2f should be below co-authorship %.2f", ccPro, ccCoa)
+	}
+	if rPro < rCoa*0.8 {
+		t.Fatalf("protein ratio %.2f should rival co-authorship %.2f despite low clustering", rPro, rCoa)
+	}
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/bench"
+	"repro/internal/graph"
+)
+
+// Table1Row describes one dataset analog (paper Table I).
+type Table1Row struct {
+	Name        string
+	Scale       int
+	Nodes       int
+	Edges       int
+	AvgDegree   float64
+	CSRBytes    int64
+	PaperNodes  int
+	PaperEdges  int
+	PaperDegree float64
+	PaperCSRMiB float64
+}
+
+// Table1 generates every analog and reports its Table-I statistics.
+func Table1(cfg Config) ([]Table1Row, error) {
+	cfg = cfg.Defaults()
+	ds, err := cfg.datasets()
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Table1Row, 0, len(ds))
+	for _, d := range ds {
+		a := d.Generate(cfg.Seed)
+		st := graph.Summarize(a)
+		rows = append(rows, Table1Row{
+			Name:        d.Name,
+			Scale:       d.Scale,
+			Nodes:       st.Nodes,
+			Edges:       st.Edges,
+			AvgDegree:   st.AverageDegree,
+			CSRBytes:    st.CSRBytes,
+			PaperNodes:  d.Paper.Nodes,
+			PaperEdges:  d.Paper.Edges,
+			PaperDegree: d.Paper.AvgDegree,
+			PaperCSRMiB: d.Paper.CSRMiB,
+		})
+	}
+	return rows, nil
+}
+
+// WriteTable1 renders the rows in the paper's Table-I layout.
+func WriteTable1(w io.Writer, rows []Table1Row) {
+	t := &bench.Table{Header: []string{
+		"Graph", "1/Scale", "#Nodes", "#Edges", "AvgDeg", "S_CSR[MiB]",
+		"paper#Nodes", "paper#Edges", "paperDeg", "paperS_CSR",
+	}}
+	for _, r := range rows {
+		t.AddRow(r.Name,
+			fmt.Sprintf("%d", r.Scale),
+			fmt.Sprintf("%d", r.Nodes),
+			fmt.Sprintf("%d", r.Edges),
+			fmt.Sprintf("%.1f", r.AvgDegree),
+			bench.MiB(r.CSRBytes),
+			fmt.Sprintf("%d", r.PaperNodes),
+			fmt.Sprintf("%d", r.PaperEdges),
+			fmt.Sprintf("%.1f", r.PaperDegree),
+			fmt.Sprintf("%.2f", r.PaperCSRMiB),
+		)
+	}
+	fmt.Fprintln(w, "Table I — dataset analogs (synthetic, seeded; see DESIGN.md)")
+	fmt.Fprint(w, t.String())
+}

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/bench"
+	"repro/internal/cbm"
+	"repro/internal/dense"
+	"repro/internal/gnn"
+	"repro/internal/graph"
+	"repro/internal/xrand"
+)
+
+// Table4Row is one (dataset, threads) GCN-inference measurement.
+type Table4Row struct {
+	Name         string
+	Alpha        int
+	Threads      int
+	CSR, CBM     bench.Timing
+	Speedup      float64
+	PaperSpeedup float64
+}
+
+// Table4 reproduces the paper's Table IV: inference time of the
+// two-layer GCN Â·σ(Â·X·W⁰)·W¹, with Â stored either as one scaled CSR
+// matrix (baseline) or as a CBM DAD matrix. Feature and weight widths
+// follow the paper (X: n×Cols, W⁰, W¹: Cols×Cols square), scaled by
+// cfg.Cols. α per setting is the paper's published best for AX.
+func Table4(cfg Config) ([]Table4Row, error) {
+	cfg = cfg.Defaults()
+	ds, err := cfg.datasets()
+	if err != nil {
+		return nil, err
+	}
+	rng := xrand.New(cfg.Seed + 3000)
+	var rows []Table4Row
+	for _, d := range ds {
+		a := d.Generate(cfg.Seed)
+		n := a.Rows
+		x := dense.New(n, cfg.Cols)
+		rng.FillUniform(x.Data)
+		model := gnn.NewGCN2(cfg.Cols, cfg.Cols, cfg.Cols, cfg.Seed+7)
+
+		na, err := graph.NewNormalizedAdjacency(a)
+		if err != nil {
+			return nil, err
+		}
+		csrBackend := &gnn.CSRAdjacency{M: na.Materialize()}
+		builder, err := cbm.NewBuilder(na.Binary, cbm.Options{Threads: cfg.Threads})
+		if err != nil {
+			return nil, err
+		}
+
+		for _, setting := range []struct {
+			alpha, threads int
+			paperSpeedup   float64
+		}{
+			{d.Paper.BestAlphaSeq, 1, d.Paper.SpeedupGCNSeq},
+			{d.Paper.BestAlphaPar, cfg.Threads, d.Paper.SpeedupGCNPar},
+		} {
+			base, _, err := builder.Compress(setting.alpha, setting.alpha != 0)
+			if err != nil {
+				return nil, err
+			}
+			cbmBackend := &gnn.CBMAdjacency{M: base.WithSymmetricScale(na.Diag)}
+			th := setting.threads
+			tCSR := bench.Measure(cfg.Reps, cfg.Warmup, func() { model.Infer(csrBackend, x, th) })
+			tCBM := bench.Measure(cfg.Reps, cfg.Warmup, func() { model.Infer(cbmBackend, x, th) })
+			rows = append(rows, Table4Row{
+				Name:         d.Name,
+				Alpha:        setting.alpha,
+				Threads:      th,
+				CSR:          tCSR,
+				CBM:          tCBM,
+				Speedup:      tCSR.Seconds() / tCBM.Seconds(),
+				PaperSpeedup: setting.paperSpeedup,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// WriteTable4 renders the rows in the paper's Table-IV layout.
+func WriteTable4(w io.Writer, rows []Table4Row) {
+	t := &bench.Table{Header: []string{
+		"Graph", "Alpha(Cores)", "T_CSR[s]", "T_CBM[s]", "Speedup", "paperSpd",
+	}}
+	for _, r := range rows {
+		t.AddRow(r.Name,
+			fmt.Sprintf("a=%d (%d)", r.Alpha, r.Threads),
+			r.CSR.String(),
+			r.CBM.String(),
+			fmt.Sprintf("%.2f", r.Speedup),
+			fmt.Sprintf("%.2f", r.PaperSpeedup),
+		)
+	}
+	fmt.Fprintln(w, "Table IV — two-layer GCN inference, CSR vs CBM backends")
+	fmt.Fprint(w, t.String())
+}

@@ -1,0 +1,61 @@
+package gnn
+
+import (
+	"repro/internal/dense"
+	"repro/internal/xrand"
+)
+
+// Dropout implements inverted dropout: in training mode each element
+// is zeroed with probability P and survivors are scaled by 1/(1−P) so
+// the expected activation is unchanged; in evaluation mode it is the
+// identity. GCN training conventionally applies dropout to the input
+// of every layer (the original GCN paper uses p = 0.5).
+type Dropout struct {
+	P        float32
+	Training bool
+	rng      *xrand.RNG
+}
+
+// NewDropout returns a dropout layer with drop probability p.
+func NewDropout(p float32, seed uint64) *Dropout {
+	if p < 0 || p >= 1 {
+		panic("gnn: dropout probability must be in [0, 1)")
+	}
+	return &Dropout{P: p, Training: true, rng: xrand.New(seed)}
+}
+
+// Forward applies dropout in place and returns the mask it used (nil
+// in evaluation mode or when P == 0). The mask lets a backward pass
+// gate gradients identically.
+func (d *Dropout) Forward(x *dense.Matrix) []bool {
+	if !d.Training || d.P == 0 {
+		return nil
+	}
+	keepScale := 1 / (1 - d.P)
+	mask := make([]bool, len(x.Data))
+	for i := range x.Data {
+		if d.rng.Float32() < d.P {
+			x.Data[i] = 0
+		} else {
+			mask[i] = true
+			x.Data[i] *= keepScale
+		}
+	}
+	return mask
+}
+
+// Backward gates a gradient with the mask Forward returned, applying
+// the same survivor scaling.
+func (d *Dropout) Backward(grad *dense.Matrix, mask []bool) {
+	if mask == nil {
+		return
+	}
+	keepScale := 1 / (1 - d.P)
+	for i := range grad.Data {
+		if mask[i] {
+			grad.Data[i] *= keepScale
+		} else {
+			grad.Data[i] = 0
+		}
+	}
+}

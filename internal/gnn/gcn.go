@@ -1,0 +1,42 @@
+package gnn
+
+import (
+	"repro/internal/dense"
+	"repro/internal/xrand"
+)
+
+// GCN2 is the paper's evaluation model: a two-layer graph convolutional
+// network computing Â·σ(Â·X·W⁰)·W¹ (Eq. 1). Feature widths follow the
+// paper's setup: W⁰ ∈ R^{F×H}, W¹ ∈ R^{H×C}.
+type GCN2 struct {
+	L0, L1 *GCNConv
+}
+
+// NewGCN2 builds a two-layer GCN with the given feature widths.
+func NewGCN2(inFeatures, hidden, classes int, seed uint64) *GCN2 {
+	rng := xrand.New(seed)
+	return &GCN2{
+		L0: NewGCNConv(inFeatures, hidden, rng),
+		L1: NewGCNConv(hidden, classes, rng),
+	}
+}
+
+// Infer runs the forward pass on backend a with the given thread
+// count and returns the output logits (n×classes).
+func (g *GCN2) Infer(a Adjacency, x *dense.Matrix, threads int) *dense.Matrix {
+	h := g.L0.Forward(a, x, threads).ReLU()
+	return g.L1.Forward(a, h, threads)
+}
+
+// InferStack runs an arbitrary stack of GCN layers with ReLU between
+// them (none after the last) — used by the deeper-model ablation.
+func InferStack(layers []*GCNConv, a Adjacency, x *dense.Matrix, threads int) *dense.Matrix {
+	h := x
+	for i, l := range layers {
+		h = l.Forward(a, h, threads)
+		if i != len(layers)-1 {
+			h.ReLU()
+		}
+	}
+	return h
+}

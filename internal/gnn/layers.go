@@ -1,0 +1,134 @@
+package gnn
+
+import (
+	"math"
+
+	"repro/internal/blas"
+	"repro/internal/dense"
+	"repro/internal/xrand"
+)
+
+// Linear is a dense layer Y = X·W (+ bias).
+type Linear struct {
+	In, Out int
+	W       *dense.Matrix // In×Out
+	Bias    []float32     // nil = no bias
+}
+
+// NewLinear returns a Glorot-initialized linear layer.
+func NewLinear(in, out int, bias bool, rng *xrand.RNG) *Linear {
+	l := &Linear{In: in, Out: out, W: dense.New(in, out)}
+	scale := float32(math.Sqrt(6.0 / float64(in+out)))
+	for i := range l.W.Data {
+		l.W.Data[i] = (2*rng.Float32() - 1) * scale
+	}
+	if bias {
+		l.Bias = make([]float32, out)
+	}
+	return l
+}
+
+// Forward computes X·W (+ bias) with the given thread count.
+func (l *Linear) Forward(x *dense.Matrix, threads int) *dense.Matrix {
+	y := dense.MulParallel(x, l.W, threads)
+	if l.Bias != nil {
+		y.AddBiasRow(l.Bias)
+	}
+	return y
+}
+
+// GCNConv is one graph-convolution layer: H = Â·(X·W), the
+// message-passing step of Kipf & Welling's GCN. The normalized
+// adjacency Â lives in the backend.
+type GCNConv struct {
+	Lin *Linear
+}
+
+// NewGCNConv returns a GCN layer with in→out feature widths.
+func NewGCNConv(in, out int, rng *xrand.RNG) *GCNConv {
+	return &GCNConv{Lin: NewLinear(in, out, false, rng)}
+}
+
+// Forward computes Â·(X·W). The dense product runs first so the
+// sparse product sees the narrower matrix — the paper's Eq. 1
+// evaluation order (two dense-dense + two sparse-dense products for a
+// two-layer net).
+func (c *GCNConv) Forward(a Adjacency, x *dense.Matrix, threads int) *dense.Matrix {
+	xw := c.Lin.Forward(x, threads)
+	out := dense.New(a.Rows(), xw.Cols)
+	a.MulTo(out, xw, threads)
+	return out
+}
+
+// GINConv is a Graph Isomorphism Network layer:
+// H = MLP((1+ε)·X + A·X), with a single-hidden-layer MLP.
+type GINConv struct {
+	Eps  float32
+	Lin1 *Linear
+	Lin2 *Linear
+}
+
+// NewGINConv returns a GIN layer with an in→hidden→out MLP.
+func NewGINConv(in, hidden, out int, eps float32, rng *xrand.RNG) *GINConv {
+	return &GINConv{
+		Eps:  eps,
+		Lin1: NewLinear(in, hidden, true, rng),
+		Lin2: NewLinear(hidden, out, true, rng),
+	}
+}
+
+// Forward computes the GIN aggregation followed by the MLP.
+func (c *GINConv) Forward(a Adjacency, x *dense.Matrix, threads int) *dense.Matrix {
+	agg := dense.New(a.Rows(), x.Cols)
+	a.MulTo(agg, x, threads)
+	// agg += (1+eps)·x
+	scaled := x.Clone().Scale(1 + c.Eps)
+	agg.Add(scaled)
+	h := c.Lin1.Forward(agg, threads).ReLU()
+	return c.Lin2.Forward(h, threads)
+}
+
+// SAGEConv is a GraphSAGE layer with sum aggregation:
+// H = ReLU(X·W_self + (A·X)·W_neigh).
+type SAGEConv struct {
+	Self  *Linear
+	Neigh *Linear
+}
+
+// NewSAGEConv returns a GraphSAGE layer with in→out feature widths.
+func NewSAGEConv(in, out int, rng *xrand.RNG) *SAGEConv {
+	return &SAGEConv{
+		Self:  NewLinear(in, out, true, rng),
+		Neigh: NewLinear(in, out, false, rng),
+	}
+}
+
+// Forward computes the GraphSAGE update.
+func (c *SAGEConv) Forward(a Adjacency, x *dense.Matrix, threads int) *dense.Matrix {
+	agg := dense.New(a.Rows(), x.Cols)
+	a.MulTo(agg, x, threads)
+	h := c.Self.Forward(x, threads)
+	h.Add(c.Neigh.Forward(agg, threads))
+	return h.ReLU()
+}
+
+// MeanReadout pools node embeddings into one vector per graph of a
+// block-diagonal batch: offsets is the boundary array BlockDiag
+// returns (len = graphs+1). The result row g is the mean of z's rows
+// [offsets[g], offsets[g+1]) — the standard readout of
+// graph-classification GNNs (the paper's Sec. II task list).
+func MeanReadout(z *dense.Matrix, offsets []int32) *dense.Matrix {
+	graphs := len(offsets) - 1
+	out := dense.New(graphs, z.Cols)
+	for g := 0; g < graphs; g++ {
+		lo, hi := int(offsets[g]), int(offsets[g+1])
+		row := out.Row(g)
+		for i := lo; i < hi; i++ {
+			blas.Add(z.Row(i), row)
+		}
+		if hi > lo {
+			blas.Scal(1/float32(hi-lo), row)
+		}
+	}
+	return out
+}

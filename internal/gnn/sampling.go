@@ -1,0 +1,152 @@
+package gnn
+
+import (
+	"fmt"
+
+	"repro/internal/blas"
+	"repro/internal/dense"
+	"repro/internal/sparse"
+	"repro/internal/xrand"
+)
+
+// Neighbor sampling — the minibatch machinery GraphSAGE (Hamilton et
+// al., cited by the paper in Sec. II) introduced for large graphs:
+// instead of the full Â·X product, each batch node aggregates a fixed
+// number of sampled neighbours per layer. This gives the repository a
+// second, sampling-based inference mode to contrast with the
+// full-batch kernels the CBM format accelerates.
+
+// Sampler draws fixed-fanout neighbourhoods from an adjacency matrix.
+type Sampler struct {
+	adj *sparse.CSR
+	rng *xrand.RNG
+}
+
+// NewSampler returns a sampler over the binary adjacency matrix.
+func NewSampler(adj *sparse.CSR, seed uint64) (*Sampler, error) {
+	if adj.Rows != adj.Cols {
+		return nil, fmt.Errorf("gnn: sampler needs a square adjacency, got %d×%d", adj.Rows, adj.Cols)
+	}
+	return &Sampler{adj: adj, rng: xrand.New(seed)}, nil
+}
+
+// SampleNeighbors returns up to fanout neighbours of v, sampled
+// without replacement (all of them when degree ≤ fanout).
+func (s *Sampler) SampleNeighbors(v, fanout int) []int32 {
+	nbrs := s.adj.RowCols(v)
+	if len(nbrs) <= fanout {
+		out := make([]int32, len(nbrs))
+		copy(out, nbrs)
+		return out
+	}
+	// partial Fisher–Yates over a copy
+	buf := make([]int32, len(nbrs))
+	copy(buf, nbrs)
+	for i := 0; i < fanout; i++ {
+		j := i + s.rng.Intn(len(buf)-i)
+		buf[i], buf[j] = buf[j], buf[i]
+	}
+	return buf[:fanout:fanout]
+}
+
+// SAGEBatch computes GraphSAGE embeddings for a batch of nodes with
+// K layers of fixed-fanout mean aggregation: at layer k each needed
+// node averages sampled neighbour features and applies the layer's
+// self/neighbour transforms with a ReLU. Layers are applied from the
+// input up; the receptive field is expanded first so every needed
+// intermediate embedding is computed exactly once.
+func SAGEBatch(layers []*SAGEConv, sampler *Sampler, x *dense.Matrix, batch []int32, fanout, threads int) *dense.Matrix {
+	K := len(layers)
+	if K == 0 {
+		panic("gnn: SAGEBatch needs at least one layer")
+	}
+	// frontier[k] = nodes whose layer-k embedding is needed.
+	// frontier[K] = batch; frontier[k-1] ⊇ frontier[k] ∪ sampled nbrs.
+	frontiers := make([][]int32, K+1)
+	samples := make([]map[int32][]int32, K+1)
+	frontiers[K] = batch
+	for k := K; k >= 1; k-- {
+		need := map[int32]bool{}
+		samp := map[int32][]int32{}
+		for _, v := range frontiers[k] {
+			need[v] = true
+			nb := sampler.SampleNeighbors(int(v), fanout)
+			samp[v] = nb
+			for _, u := range nb {
+				need[u] = true
+			}
+		}
+		samples[k] = samp
+		frontier := make([]int32, 0, len(need))
+		for v := range need {
+			frontier = append(frontier, v)
+		}
+		frontiers[k-1] = frontier
+	}
+
+	// h[v] for the current layer, sparse map over needed nodes.
+	cur := map[int32][]float32{}
+	for _, v := range frontiers[0] {
+		cur[v] = x.Row(int(v))
+	}
+	for k := 1; k <= K; k++ {
+		layer := layers[k-1]
+		next := map[int32][]float32{}
+		for _, v := range frontiers[k] {
+			nb := samples[k][v]
+			inDim := layer.Self.In
+			agg := make([]float32, inDim)
+			for _, u := range nb {
+				blas.Add(cur[u], agg)
+			}
+			if len(nb) > 0 {
+				blas.Scal(1/float32(len(nb)), agg)
+			}
+			// h' = ReLU(W_self·h_v + W_neigh·agg)
+			out := make([]float32, layer.Self.Out)
+			matVecInto(out, layer.Self.W, cur[v])
+			if layer.Self.Bias != nil {
+				blas.Add(layer.Self.Bias, out)
+			}
+			tmp := make([]float32, layer.Neigh.Out)
+			matVecInto(tmp, layer.Neigh.W, agg)
+			blas.Add(tmp, out)
+			for i, val := range out {
+				if val < 0 {
+					out[i] = 0
+				}
+			}
+			next[v] = out
+		}
+		cur = next
+	}
+
+	out := dense.New(len(batch), layers[K-1].Self.Out)
+	for i, v := range batch {
+		copy(out.Row(i), cur[v])
+	}
+	_ = threads
+	return out
+}
+
+// matVecInto computes dst = Wᵀ·x for a row-major In×Out weight matrix
+// (i.e. the action of a Linear layer on a single feature vector).
+func matVecInto(dst []float32, w *dense.Matrix, x []float32) {
+	if len(x) != w.Rows || len(dst) != w.Cols {
+		panic("gnn: matVecInto shape mismatch")
+	}
+	blas.Fill(dst, 0)
+	for k, xv := range x {
+		if xv != 0 {
+			blas.Axpy(xv, w.Row(k), dst)
+		}
+	}
+}
+
+// SAGEBatchMean is a convenience wrapper sampling mean aggregation over
+// the FULL neighbourhood (fanout = ∞), useful to cross-check the
+// sampled path against a deterministic reference.
+func SAGEBatchMean(layers []*SAGEConv, adj *sparse.CSR, x *dense.Matrix, batch []int32) *dense.Matrix {
+	s := &Sampler{adj: adj, rng: xrand.New(0)}
+	return SAGEBatch(layers, s, x, batch, adj.Cols, 1)
+}

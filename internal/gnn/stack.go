@@ -1,0 +1,92 @@
+package gnn
+
+import (
+	"fmt"
+
+	"repro/internal/dense"
+	"repro/internal/xrand"
+)
+
+// GCNStack is an L-layer GCN with ReLU between layers (none after the
+// last) — the generalization of GCN2 used for depth experiments and
+// deeper-model training. Layer l computes Â·(H_{l-1}·W_l).
+type GCNStack struct {
+	Layers []*GCNConv
+}
+
+// NewGCNStack builds a stack from feature widths [in, h1, …, out].
+func NewGCNStack(widths []int, seed uint64) *GCNStack {
+	if len(widths) < 2 {
+		panic(fmt.Sprintf("gnn: GCNStack needs ≥ 2 widths, got %v", widths))
+	}
+	rng := xrand.New(seed)
+	s := &GCNStack{}
+	for l := 0; l+1 < len(widths); l++ {
+		s.Layers = append(s.Layers, NewGCNConv(widths[l], widths[l+1], rng))
+	}
+	return s
+}
+
+// Depth returns the layer count.
+func (s *GCNStack) Depth() int { return len(s.Layers) }
+
+// Infer runs the forward pass.
+func (s *GCNStack) Infer(a Adjacency, x *dense.Matrix, threads int) *dense.Matrix {
+	return InferStack(s.Layers, a, x, threads)
+}
+
+// Train runs full-batch training of the whole stack with the given
+// optimizer, backpropagating through every Â multiplication (Âᵀ = Â
+// for symmetric normalized adjacencies). Returns per-epoch losses and
+// final masked accuracy.
+func (s *GCNStack) Train(a Adjacency, x *dense.Matrix, labels []int, mask []bool, epochs, threads int, opt Optimizer) TrainResult {
+	n := a.Rows()
+	L := len(s.Layers)
+	res := TrainResult{Losses: make([]float64, 0, epochs)}
+
+	for epoch := 0; epoch < epochs; epoch++ {
+		// Forward, keeping intermediates per layer.
+		hs := make([]*dense.Matrix, L+1) // h_0 = x, h_l = activation outputs
+		ss := make([]*dense.Matrix, L+1) // s_l = Â·(h_{l-1}·W_l), pre-activation
+		hs[0] = x
+		for l := 1; l <= L; l++ {
+			p := s.Layers[l-1].Lin.Forward(hs[l-1], threads)
+			sl := dense.New(n, p.Cols)
+			a.MulTo(sl, p, threads)
+			ss[l] = sl
+			if l == L {
+				hs[l] = sl
+			} else {
+				hs[l] = sl.Clone().ReLU()
+			}
+		}
+
+		dz := dense.New(n, hs[L].Cols)
+		res.Losses = append(res.Losses, SoftmaxCrossEntropy(hs[L], labels, mask, dz))
+
+		// Backward.
+		if adam, ok := opt.(*Adam); ok {
+			adam.BeginStep()
+		}
+		ds := dz // gradient w.r.t. s_l
+		for l := L; l >= 1; l-- {
+			dp := dense.New(n, ds.Cols)
+			a.MulTo(dp, ds, threads) // Âᵀ·ds = Â·ds
+			dw := dense.MulParallel(hs[l-1].Transpose(), dp, threads)
+			if l > 1 {
+				dh := dense.MulParallel(dp, s.Layers[l-1].Lin.W.Transpose(), threads)
+				// gate through the previous layer's ReLU
+				for i, v := range ss[l-1].Data {
+					if v <= 0 {
+						dh.Data[i] = 0
+					}
+				}
+				ds = dh
+			}
+			opt.Step(s.Layers[l-1].Lin.W, dw)
+		}
+	}
+	z := s.Infer(a, x, threads)
+	res.Accuracy = Accuracy(z, labels, mask)
+	return res
+}

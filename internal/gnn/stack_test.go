@@ -1,0 +1,113 @@
+package gnn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cbm"
+	"repro/internal/dense"
+	"repro/internal/synth"
+	"repro/internal/xrand"
+)
+
+func TestGCNStackDepthAndShapes(t *testing.T) {
+	s := NewGCNStack([]int{8, 16, 16, 4}, 1)
+	if s.Depth() != 3 {
+		t.Fatalf("depth = %d", s.Depth())
+	}
+	a := synth.SBMGroups(100, 10, 0.7, 0.3, 2)
+	csr, err := NewCSRBackend(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(3)
+	x := dense.New(100, 8)
+	rng.FillUniform(x.Data)
+	z := s.Infer(csr, x, 2)
+	if z.Rows != 100 || z.Cols != 4 {
+		t.Fatalf("output shape %d×%d", z.Rows, z.Cols)
+	}
+}
+
+func TestGCNStackPanicsOnBadWidths(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewGCNStack([]int{8}, 1)
+}
+
+func TestGCNStackTwoLayerMatchesGCN2(t *testing.T) {
+	// A 2-layer stack with the same seed must produce the same
+	// inference and SGD training trajectory as GCN2.
+	n := 150
+	a := synth.SBMGroups(n, 15, 0.75, 0.3, 4)
+	csr, err := NewCSRBackend(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(5)
+	x := dense.New(n, 8)
+	rng.FillUniform(x.Data)
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = i % 3
+	}
+
+	g2 := NewGCN2(8, 12, 3, 9)
+	stack := NewGCNStack([]int{8, 12, 3}, 9)
+	z1 := g2.Infer(csr, x, 1)
+	z2 := stack.Infer(csr, x, 1)
+	if !z1.Equal(z2) {
+		t.Fatal("2-layer stack inference differs from GCN2")
+	}
+
+	r1 := g2.Train(csr, x, labels, nil, TrainConfig{LR: 0.2, Epochs: 8, Threads: 1})
+	r2 := stack.Train(csr, x, labels, nil, 8, 1, NewSGD(0.2, 0))
+	for e := range r1.Losses {
+		if math.Abs(r1.Losses[e]-r2.Losses[e]) > 1e-12 {
+			t.Fatalf("epoch %d: GCN2 %v vs stack %v", e, r1.Losses[e], r2.Losses[e])
+		}
+	}
+}
+
+func TestGCNStackDeepTrainingLearns(t *testing.T) {
+	n, group := 240, 24
+	a := synth.SBMGroups(n, group, 0.85, 0.2, 6)
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = (i / group) % 5
+	}
+	rng := xrand.New(7)
+	x := dense.New(n, 10)
+	for i := 0; i < n; i++ {
+		x.Set(i, labels[i], 1)
+		for j := 0; j < 10; j++ {
+			x.Set(i, j, x.At(i, j)+0.15*rng.Float32())
+		}
+	}
+	stack := NewGCNStack([]int{10, 16, 16, 5}, 8)
+	csr, err := NewCSRBackend(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := stack.Train(csr, x, labels, nil, 60, 2, NewAdam(0.02))
+	if res.Losses[len(res.Losses)-1] >= res.Losses[0] {
+		t.Fatalf("3-layer loss did not decrease: %v → %v", res.Losses[0], res.Losses[len(res.Losses)-1])
+	}
+	if res.Accuracy < 0.9 {
+		t.Fatalf("3-layer accuracy %v", res.Accuracy)
+	}
+
+	// Same training on the CBM backend must track.
+	cbmB, _, err := NewCBMBackend(a, cbm.Options{Alpha: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stack2 := NewGCNStack([]int{10, 16, 16, 5}, 8)
+	res2 := stack2.Train(cbmB, x, labels, nil, 60, 2, NewAdam(0.02))
+	if math.Abs(res.Accuracy-res2.Accuracy) > 0.05 {
+		t.Fatalf("backend accuracy gap: %v vs %v", res.Accuracy, res2.Accuracy)
+	}
+}

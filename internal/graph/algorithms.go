@@ -1,0 +1,142 @@
+package graph
+
+import (
+	"sort"
+
+	"repro/internal/sparse"
+)
+
+// ConnectedComponents labels the weakly connected components of a
+// symmetric adjacency matrix with ids 0..k−1 (in order of discovery)
+// and returns the labels and component count.
+func ConnectedComponents(a *sparse.CSR) ([]int32, int) {
+	n := a.Rows
+	label := make([]int32, n)
+	for i := range label {
+		label[i] = -1
+	}
+	var queue []int32
+	next := int32(0)
+	for s := 0; s < n; s++ {
+		if label[s] >= 0 {
+			continue
+		}
+		label[s] = next
+		queue = append(queue[:0], int32(s))
+		for len(queue) > 0 {
+			u := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, v := range a.RowCols(int(u)) {
+				if label[v] < 0 {
+					label[v] = next
+					queue = append(queue, v)
+				}
+			}
+		}
+		next++
+	}
+	return label, int(next)
+}
+
+// BFS returns hop distances from src (−1 where unreachable).
+func BFS(a *sparse.CSR, src int) []int32 {
+	n := a.Rows
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	if src < 0 || src >= n {
+		return dist
+	}
+	dist[src] = 0
+	frontier := []int32{int32(src)}
+	for len(frontier) > 0 {
+		var nextF []int32
+		for _, u := range frontier {
+			du := dist[u]
+			for _, v := range a.RowCols(int(u)) {
+				if dist[v] < 0 {
+					dist[v] = du + 1
+					nextF = append(nextF, v)
+				}
+			}
+		}
+		frontier = nextF
+	}
+	return dist
+}
+
+// DegreeHistogram returns the sorted distinct degrees and their node
+// counts.
+func DegreeHistogram(a *sparse.CSR) (degrees []int, counts []int) {
+	hist := map[int]int{}
+	for i := 0; i < a.Rows; i++ {
+		hist[a.RowNNZ(i)]++
+	}
+	for d := range hist {
+		degrees = append(degrees, d)
+	}
+	sort.Ints(degrees)
+	counts = make([]int, len(degrees))
+	for i, d := range degrees {
+		counts[i] = hist[d]
+	}
+	return degrees, counts
+}
+
+// MaxDegree returns the largest row degree (0 for an empty matrix).
+func MaxDegree(a *sparse.CSR) int {
+	max := 0
+	for i := 0; i < a.Rows; i++ {
+		if d := a.RowNNZ(i); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Density returns nnz / n² (0 for an empty matrix).
+func Density(a *sparse.CSR) float64 {
+	if a.Rows == 0 || a.Cols == 0 {
+		return 0
+	}
+	return float64(a.NNZ()) / (float64(a.Rows) * float64(a.Cols))
+}
+
+// TriangleCount returns the total number of triangles in a simple
+// undirected graph (each counted once), via sorted-neighbour-list
+// intersection restricted to ordered wedges.
+func TriangleCount(a *sparse.CSR) int64 {
+	var total int64
+	for v := 0; v < a.Rows; v++ {
+		nv := a.RowCols(v)
+		for _, u := range nv {
+			if int(u) <= v {
+				continue
+			}
+			// count w > u adjacent to both v and u
+			total += intersectAbove(nv, a.RowCols(int(u)), u)
+		}
+	}
+	return total
+}
+
+// intersectAbove returns |{w ∈ a ∩ b : w > floor}| for sorted slices.
+func intersectAbove(a, b []int32, floor int32) int64 {
+	i := sort.Search(len(a), func(k int) bool { return a[k] > floor })
+	j := sort.Search(len(b), func(k int) bool { return b[k] > floor })
+	var n int64
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}

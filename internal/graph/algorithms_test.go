@@ -1,0 +1,167 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sparse"
+	"repro/internal/synth"
+	"repro/internal/xrand"
+)
+
+func TestConnectedComponents(t *testing.T) {
+	// two triangles + an isolated node
+	a := fromEdges(7, [][2]int{{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}})
+	label, k := ConnectedComponents(a)
+	if k != 3 {
+		t.Fatalf("components = %d, want 3", k)
+	}
+	if label[0] != label[1] || label[1] != label[2] {
+		t.Fatal("triangle 1 split")
+	}
+	if label[3] != label[4] || label[4] != label[5] {
+		t.Fatal("triangle 2 split")
+	}
+	if label[6] == label[0] || label[6] == label[3] {
+		t.Fatal("isolated node merged")
+	}
+}
+
+func TestConnectedComponentsEmpty(t *testing.T) {
+	label, k := ConnectedComponents(sparse.NewCSR(0, 0))
+	if len(label) != 0 || k != 0 {
+		t.Fatalf("empty graph: %v %d", label, k)
+	}
+	_, k = ConnectedComponents(sparse.NewCSR(4, 4))
+	if k != 4 {
+		t.Fatalf("edgeless graph: %d components, want 4", k)
+	}
+}
+
+func TestBFSDistances(t *testing.T) {
+	// path 0-1-2-3 plus isolated 4
+	a := fromEdges(5, [][2]int{{0, 1}, {1, 2}, {2, 3}})
+	d := BFS(a, 0)
+	want := []int32{0, 1, 2, 3, -1}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Fatalf("dist[%d] = %d, want %d", i, d[i], want[i])
+		}
+	}
+	if d := BFS(a, -1); d[0] != -1 {
+		t.Fatal("invalid source should reach nothing")
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	a := fromEdges(4, [][2]int{{0, 1}, {0, 2}, {0, 3}})
+	degs, counts := DegreeHistogram(a)
+	// star: one node of degree 3, three of degree 1
+	if len(degs) != 2 || degs[0] != 1 || degs[1] != 3 {
+		t.Fatalf("degrees = %v", degs)
+	}
+	if counts[0] != 3 || counts[1] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestMaxDegreeAndDensity(t *testing.T) {
+	a := fromEdges(4, [][2]int{{0, 1}, {0, 2}, {0, 3}})
+	if MaxDegree(a) != 3 {
+		t.Fatalf("max degree = %d", MaxDegree(a))
+	}
+	if got := Density(a); got != 6.0/16.0 {
+		t.Fatalf("density = %v", got)
+	}
+	if Density(sparse.NewCSR(0, 0)) != 0 || MaxDegree(sparse.NewCSR(0, 0)) != 0 {
+		t.Fatal("empty graph metrics wrong")
+	}
+}
+
+func TestTriangleCountKnownGraphs(t *testing.T) {
+	tri := fromEdges(3, [][2]int{{0, 1}, {1, 2}, {0, 2}})
+	if TriangleCount(tri) != 1 {
+		t.Fatalf("triangle count = %d, want 1", TriangleCount(tri))
+	}
+	// K4 has 4 triangles
+	k4 := fromEdges(4, [][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}})
+	if TriangleCount(k4) != 4 {
+		t.Fatalf("K4 triangles = %d, want 4", TriangleCount(k4))
+	}
+	path := fromEdges(4, [][2]int{{0, 1}, {1, 2}, {2, 3}})
+	if TriangleCount(path) != 0 {
+		t.Fatalf("path triangles = %d", TriangleCount(path))
+	}
+}
+
+// Property: triangle count via intersection equals the trace method
+// tr(A³)/6 computed densely on small graphs.
+func TestTriangleCountMatchesTraceProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := 2 + rng.Intn(14)
+		var edges [][2]int
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.4 {
+					edges = append(edges, [2]int{i, j})
+				}
+			}
+		}
+		a := fromEdges(n, edges)
+		ad := a.ToDense()
+		a2 := sparse.SpGEMM(a, a, 1)
+		a3 := sparse.SpGEMM(a2, a, 1).ToDense()
+		var trace float64
+		for i := 0; i < n; i++ {
+			trace += float64(a3.At(i, i))
+		}
+		_ = ad
+		return TriangleCount(a) == int64(trace/6+0.5)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: BFS distances respect the triangle inequality along edges.
+func TestBFSEdgeConsistencyProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		a := synth.ErdosRenyi(80, 4, seed)
+		d := BFS(a, 0)
+		for u := 0; u < a.Rows; u++ {
+			if d[u] < 0 {
+				continue
+			}
+			for _, v := range a.RowCols(u) {
+				if d[v] < 0 || d[v] > d[u]+1 || d[u] > d[v]+1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Components partition the graph: same component ⟺ reachable.
+func TestComponentsMatchBFSProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		a := synth.ErdosRenyi(60, 2, seed)
+		label, _ := ConnectedComponents(a)
+		d := BFS(a, 0)
+		for v := 0; v < a.Rows; v++ {
+			sameComp := label[v] == label[0]
+			reachable := d[v] >= 0
+			if sameComp != reachable {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,185 @@
+package graph
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dense"
+	"repro/internal/kernels"
+	"repro/internal/sparse"
+	"repro/internal/synth"
+	"repro/internal/xrand"
+)
+
+func fromEdges(n int, edges [][2]int) *sparse.CSR {
+	coo := sparse.NewCOO(n, n)
+	for _, e := range edges {
+		coo.Append(e[0], e[1], 1)
+		coo.Append(e[1], e[0], 1)
+	}
+	m := coo.ToCSR()
+	for i := range m.Vals {
+		m.Vals[i] = 1
+	}
+	return m
+}
+
+func TestSummarize(t *testing.T) {
+	a := fromEdges(4, [][2]int{{0, 1}, {1, 2}, {2, 3}})
+	s := Summarize(a)
+	if s.Nodes != 4 || s.Edges != 6 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if math.Abs(s.AverageDegree-1.5) > 1e-9 {
+		t.Fatalf("avg degree = %v, want 1.5", s.AverageDegree)
+	}
+	if s.CSRBytes != a.FootprintBytes() {
+		t.Fatal("CSR bytes mismatch")
+	}
+}
+
+func TestClusteringTriangle(t *testing.T) {
+	// A triangle: every node has coefficient 1.
+	a := fromEdges(3, [][2]int{{0, 1}, {1, 2}, {0, 2}})
+	if c := AverageClusteringCoefficient(a, 1); math.Abs(c-1) > 1e-9 {
+		t.Fatalf("triangle clustering = %v, want 1", c)
+	}
+}
+
+func TestClusteringPath(t *testing.T) {
+	// A path has no triangles: coefficient 0.
+	a := fromEdges(4, [][2]int{{0, 1}, {1, 2}, {2, 3}})
+	if c := AverageClusteringCoefficient(a, 1); c != 0 {
+		t.Fatalf("path clustering = %v, want 0", c)
+	}
+}
+
+func TestClusteringPaw(t *testing.T) {
+	// "Paw" graph: triangle {0,1,2} plus pendant 3 attached to 2.
+	// C(0)=C(1)=1, C(2)=2·1/(3·2)=1/3, C(3)=0 → mean = 7/12.
+	a := fromEdges(4, [][2]int{{0, 1}, {1, 2}, {0, 2}, {2, 3}})
+	want := 7.0 / 12.0
+	if c := AverageClusteringCoefficient(a, 1); math.Abs(c-want) > 1e-9 {
+		t.Fatalf("paw clustering = %v, want %v", c, want)
+	}
+}
+
+func TestClusteringCompleteGraph(t *testing.T) {
+	n := 7
+	var edges [][2]int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			edges = append(edges, [2]int{i, j})
+		}
+	}
+	a := fromEdges(n, edges)
+	if c := AverageClusteringCoefficient(a, 2); math.Abs(c-1) > 1e-9 {
+		t.Fatalf("K7 clustering = %v, want 1", c)
+	}
+}
+
+func TestClusteringParallelMatchesSequential(t *testing.T) {
+	a := synth.SBMGroups(500, 20, 0.6, 1.0, 3)
+	seq := AverageClusteringCoefficient(a, 1)
+	par := AverageClusteringCoefficient(a, 8)
+	if math.Abs(seq-par) > 1e-12 {
+		t.Fatalf("seq %v != par %v", seq, par)
+	}
+}
+
+func TestClusteringEmptyAndSingle(t *testing.T) {
+	if c := AverageClusteringCoefficient(sparse.NewCSR(0, 0), 1); c != 0 {
+		t.Fatalf("empty graph clustering = %v", c)
+	}
+	if c := AverageClusteringCoefficient(sparse.NewCSR(5, 5), 1); c != 0 {
+		t.Fatalf("edgeless graph clustering = %v", c)
+	}
+}
+
+func TestNormalizedAdjacencyFactors(t *testing.T) {
+	a := fromEdges(3, [][2]int{{0, 1}, {1, 2}})
+	na, err := NewNormalizedAdjacency(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// degrees with self loops: 2, 3, 2
+	want := []float64{1 / math.Sqrt(2), 1 / math.Sqrt(3), 1 / math.Sqrt(2)}
+	for i, d := range na.Diag {
+		if math.Abs(float64(d)-want[i]) > 1e-6 {
+			t.Fatalf("diag[%d] = %v, want %v", i, d, want[i])
+		}
+	}
+	if !na.Binary.IsBinary() || na.Binary.NNZ() != a.NNZ()+3 {
+		t.Fatal("binary part wrong")
+	}
+}
+
+func TestNormalizedAdjacencyMaterializeRowSums(t *testing.T) {
+	// Â = D^{-1/2}(A+I)D^{-1/2} applied to the all-ones vector of a
+	// regular graph yields a constant vector: for a k-regular graph
+	// each row sums to (k+1)/(k+1) = 1.
+	n := 8
+	var edges [][2]int
+	for i := 0; i < n; i++ {
+		edges = append(edges, [2]int{i, (i + 1) % n}) // cycle: 2-regular
+	}
+	a := fromEdges(n, edges)
+	na, err := NewNormalizedAdjacency(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := na.Materialize()
+	ones := dense.New(n, 1)
+	for i := range ones.Data {
+		ones.Data[i] = 1
+	}
+	out := kernels.SpMM(m, ones)
+	for i := 0; i < n; i++ {
+		if math.Abs(float64(out.At(i, 0))-1) > 1e-6 {
+			t.Fatalf("row %d sum = %v, want 1", i, out.At(i, 0))
+		}
+	}
+}
+
+func TestNormalizedAdjacencyRejectsBadInput(t *testing.T) {
+	if _, err := NewNormalizedAdjacency(sparse.NewCSR(2, 3)); err == nil {
+		t.Fatal("non-square accepted")
+	}
+	coo := sparse.NewCOO(2, 2)
+	coo.Append(0, 1, 2)
+	if _, err := NewNormalizedAdjacency(coo.ToCSR()); err == nil {
+		t.Fatal("non-binary accepted")
+	}
+}
+
+func TestMaterializeIsSymmetric(t *testing.T) {
+	a := synth.SBMGroups(100, 10, 0.5, 1.0, 7)
+	na, err := NewNormalizedAdjacency(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !na.Materialize().IsSymmetric() {
+		t.Fatal("normalized adjacency should stay symmetric")
+	}
+	_ = xrand.New(0)
+}
+
+func TestLocalClusteringCoefficients(t *testing.T) {
+	// paw graph: triangle {0,1,2} + pendant 3 on node 2
+	a := fromEdges(4, [][2]int{{0, 1}, {1, 2}, {0, 2}, {2, 3}})
+	local := LocalClusteringCoefficients(a, 1)
+	want := []float64{1, 1, 1.0 / 3, 0}
+	for i := range want {
+		if math.Abs(local[i]-want[i]) > 1e-9 {
+			t.Fatalf("local[%d] = %v, want %v", i, local[i], want[i])
+		}
+	}
+	// consistency with the average
+	sum := 0.0
+	for _, c := range local {
+		sum += c
+	}
+	if avg := AverageClusteringCoefficient(a, 1); math.Abs(avg-sum/4) > 1e-12 {
+		t.Fatalf("average %v != mean of locals %v", avg, sum/4)
+	}
+}

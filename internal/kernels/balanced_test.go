@@ -1,0 +1,108 @@
+package kernels
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dense"
+	"repro/internal/sparse"
+	"repro/internal/xrand"
+)
+
+func TestSpMMBalancedMatchesReference(t *testing.T) {
+	rng := xrand.New(10)
+	for _, threads := range []int{1, 2, 3, 7, 16} {
+		s := randomCSR(rng, 53, 31, 0.15, false)
+		b := randomDense(rng, 31, 9)
+		want := SpMM(s, b)
+		c := randomDense(rng, 53, 9) // garbage output
+		SpMMBalanced(c, s, b, threads)
+		if d := dense.MaxRelDiff(c, want, 1); d > 1e-5 {
+			t.Fatalf("threads=%d: rel diff %v", threads, d)
+		}
+	}
+}
+
+func TestSpMMBalancedHubRow(t *testing.T) {
+	// One row owns almost all non-zeros: the exact case row-dynamic
+	// scheduling serializes on and segment scheduling splits.
+	n := 64
+	coo := sparse.NewCOO(n, n)
+	for j := 0; j < n; j++ {
+		coo.Append(0, j, 1) // hub row
+	}
+	coo.Append(5, 3, 1)
+	coo.Append(9, 7, 1)
+	s := coo.ToCSR()
+	rng := xrand.New(11)
+	b := randomDense(rng, n, 6)
+	want := SpMM(s, b)
+	for _, threads := range []int{2, 4, 8} {
+		c := dense.New(n, 6)
+		SpMMBalanced(c, s, b, threads)
+		if d := dense.MaxRelDiff(c, want, 1); d > 1e-5 {
+			t.Fatalf("threads=%d: hub row wrong, rel diff %v", threads, d)
+		}
+	}
+}
+
+func TestSpMMBalancedEmptyRowsZeroed(t *testing.T) {
+	coo := sparse.NewCOO(5, 5)
+	coo.Append(2, 2, 1)
+	s := coo.ToCSR()
+	rng := xrand.New(12)
+	b := randomDense(rng, 5, 3)
+	c := randomDense(rng, 5, 3) // garbage must be cleared
+	SpMMBalanced(c, s, b, 3)
+	for _, i := range []int{0, 1, 3, 4} {
+		for j := 0; j < 3; j++ {
+			if c.At(i, j) != 0 {
+				t.Fatalf("empty row %d not zeroed", i)
+			}
+		}
+	}
+}
+
+func TestSpMMBalancedEmptyMatrix(t *testing.T) {
+	s := sparse.NewCSR(4, 4)
+	b := dense.New(4, 2)
+	c := dense.New(4, 2)
+	SpMMBalanced(c, s, b, 4)
+	for _, v := range c.Data {
+		if v != 0 {
+			t.Fatal("empty matrix product nonzero")
+		}
+	}
+}
+
+func TestRowOf(t *testing.T) {
+	s := sparse.FromAdjacency(4, 4, [][]int32{{0, 1}, {}, {2}, {0, 1, 3}})
+	// nnz layout: row0 → positions 0,1; row2 → 2; row3 → 3,4,5
+	wants := []int{0, 0, 2, 3, 3, 3}
+	for k, want := range wants {
+		if got := rowOf(s, k); got != want {
+			t.Fatalf("rowOf(%d) = %d, want %d", k, got, want)
+		}
+	}
+}
+
+// Property: balanced and row-dynamic kernels agree for any shape,
+// density and thread count.
+func TestSpMMBalancedProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		r := 1 + rng.Intn(40)
+		k := 1 + rng.Intn(40)
+		c := 1 + rng.Intn(10)
+		threads := 1 + rng.Intn(8)
+		s := randomCSR(rng, r, k, 0.05+0.3*rng.Float64(), rng.Float64() < 0.5)
+		b := randomDense(rng, k, c)
+		want := SpMM(s, b)
+		got := dense.New(r, c)
+		SpMMBalanced(got, s, b, threads)
+		return dense.MaxRelDiff(got, want, 1) <= 1e-5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,89 @@
+// Package mst computes minimum spanning trees of the CBM distance
+// graph: an undirected candidate graph over the matrix rows, extended
+// with a virtual root (node index -1 in the API, the paper's node 0)
+// that connects to every row x with weight nnz(x). Prim's algorithm
+// with a lazy binary heap runs in O(E log E).
+package mst
+
+import (
+	"container/heap"
+)
+
+// Edge is an undirected candidate edge to neighbor Nbr with weight W.
+type Edge struct {
+	Nbr int32
+	W   int64
+}
+
+// Graph is an undirected graph over n nodes in adjacency-list form plus
+// the implicit virtual-root edges. Adjacency lists live in the shared
+// CSR-style arrays Ptr/Edges: node u's edges are Edges[Ptr[u]:Ptr[u+1]].
+type Graph struct {
+	N     int
+	Ptr   []int32 // length N+1
+	Edges []Edge
+	Root  []int64 // weight of the virtual edge root→u, length N
+}
+
+// Adj returns node u's candidate edges.
+func (g *Graph) Adj(u int) []Edge { return g.Edges[g.Ptr[u]:g.Ptr[u+1]:g.Ptr[u+1]] }
+
+type primItem struct {
+	key    int64
+	node   int32
+	parent int32 // -1 = virtual root
+}
+
+type primHeap []primItem
+
+func (h primHeap) Len() int            { return len(h) }
+func (h primHeap) Less(i, j int) bool  { return h[i].key < h[j].key }
+func (h primHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *primHeap) Push(x interface{}) { *h = append(*h, x.(primItem)) }
+func (h *primHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Prim returns the minimum spanning tree of g rooted at the virtual
+// node: parent[u] is the row u is compressed against, or -1 when u
+// hangs off the virtual root. The second result is the total tree
+// weight including virtual edges (i.e. the total number of deltas of
+// the resulting CBM compression tree).
+//
+// Because the virtual root reaches every node, the tree always spans
+// the graph even when the candidate edges are disconnected.
+func Prim(g *Graph) (parent []int32, total int64) {
+	n := g.N
+	parent = make([]int32, n)
+	inTree := make([]bool, n)
+	best := make([]int64, n)
+	h := make(primHeap, 0, n)
+	for u := 0; u < n; u++ {
+		parent[u] = -1
+		best[u] = g.Root[u]
+		h = append(h, primItem{key: g.Root[u], node: int32(u), parent: -1})
+	}
+	heap.Init(&h)
+	for h.Len() > 0 {
+		it := heap.Pop(&h).(primItem)
+		u := int(it.node)
+		if inTree[u] || it.key > best[u] {
+			continue // stale entry (lazy deletion)
+		}
+		inTree[u] = true
+		parent[u] = it.parent
+		total += it.key
+		for _, e := range g.Adj(u) {
+			v := int(e.Nbr)
+			if !inTree[v] && e.W < best[v] {
+				best[v] = e.W
+				heap.Push(&h, primItem{key: e.W, node: e.Nbr, parent: int32(u)})
+			}
+		}
+	}
+	return parent, total
+}

@@ -1,0 +1,249 @@
+package mst
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+// buildGraph assembles a Graph from an undirected edge list given as
+// (u, v, w) triples; each edge is inserted in both adjacency lists.
+func buildGraph(n int, root []int64, edges [][3]int64) *Graph {
+	g := &Graph{N: n, Ptr: make([]int32, n+1), Root: root}
+	deg := make([]int32, n)
+	for _, e := range edges {
+		deg[e[0]]++
+		deg[e[1]]++
+	}
+	for i := 0; i < n; i++ {
+		g.Ptr[i+1] = g.Ptr[i] + deg[i]
+	}
+	g.Edges = make([]Edge, g.Ptr[n])
+	next := make([]int32, n)
+	copy(next, g.Ptr[:n])
+	add := func(u, v int32, w int64) {
+		g.Edges[next[u]] = Edge{Nbr: v, W: w}
+		next[u]++
+	}
+	for _, e := range edges {
+		add(int32(e[0]), int32(e[1]), e[2])
+		add(int32(e[1]), int32(e[0]), e[2])
+	}
+	return g
+}
+
+// bruteMST finds the minimum spanning tree weight of the graph plus
+// virtual root by Kruskal over the full edge set (including virtual
+// edges), for cross-checking Prim.
+func bruteMST(n int, root []int64, edges [][3]int64) int64 {
+	type edge struct {
+		u, v int
+		w    int64
+	}
+	all := make([]edge, 0, len(edges)+n)
+	for _, e := range edges {
+		all = append(all, edge{int(e[0]), int(e[1]), e[2]})
+	}
+	for i := 0; i < n; i++ {
+		all = append(all, edge{n, i, root[i]}) // virtual node index n
+	}
+	// selection sort is fine at test sizes
+	for i := range all {
+		for j := i + 1; j < len(all); j++ {
+			if all[j].w < all[i].w {
+				all[i], all[j] = all[j], all[i]
+			}
+		}
+	}
+	parent := make([]int, n+1)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	var total int64
+	for _, e := range all {
+		ru, rv := find(e.u), find(e.v)
+		if ru != rv {
+			parent[ru] = rv
+			total += e.w
+		}
+	}
+	return total
+}
+
+func TestPrimTinyGraph(t *testing.T) {
+	// 3 nodes: root weights 10, 10, 10; edges 0-1 w1, 1-2 w2.
+	g := buildGraph(3, []int64{10, 10, 10}, [][3]int64{{0, 1, 1}, {1, 2, 2}})
+	parent, total := Prim(g)
+	// MST: virtual→0 (10), 0→1 (1), 1→2 (2) = 13
+	if total != 13 {
+		t.Fatalf("total = %d, want 13", total)
+	}
+	virtual := 0
+	for _, p := range parent {
+		if p == -1 {
+			virtual++
+		}
+	}
+	if virtual != 1 {
+		t.Fatalf("%d virtual children, want 1", virtual)
+	}
+}
+
+func TestPrimPrefersVirtualWhenEdgesHeavy(t *testing.T) {
+	g := buildGraph(2, []int64{1, 1}, [][3]int64{{0, 1, 5}})
+	parent, total := Prim(g)
+	if total != 2 {
+		t.Fatalf("total = %d, want 2", total)
+	}
+	if parent[0] != -1 || parent[1] != -1 {
+		t.Fatalf("parent = %v, want all virtual", parent)
+	}
+}
+
+func TestPrimDisconnectedCandidates(t *testing.T) {
+	// No candidate edges at all: every node hangs off the root.
+	g := buildGraph(4, []int64{3, 1, 4, 1}, nil)
+	parent, total := Prim(g)
+	if total != 9 {
+		t.Fatalf("total = %d, want 9", total)
+	}
+	for i, p := range parent {
+		if p != -1 {
+			t.Fatalf("parent[%d] = %d, want -1", i, p)
+		}
+	}
+}
+
+func TestPrimEmptyGraph(t *testing.T) {
+	g := &Graph{N: 0, Ptr: []int32{0}, Root: nil}
+	parent, total := Prim(g)
+	if len(parent) != 0 || total != 0 {
+		t.Fatalf("empty graph: parent=%v total=%d", parent, total)
+	}
+}
+
+func TestPrimIsTree(t *testing.T) {
+	rng := xrand.New(11)
+	n := 50
+	root := make([]int64, n)
+	for i := range root {
+		root[i] = int64(rng.Intn(20) + 1)
+	}
+	var edges [][3]int64
+	for i := 0; i < 150; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			edges = append(edges, [3]int64{int64(u), int64(v), int64(rng.Intn(30) + 1)})
+		}
+	}
+	g := buildGraph(n, root, edges)
+	parent, _ := Prim(g)
+	// Every node must reach the virtual root without cycles.
+	for i := 0; i < n; i++ {
+		seen := map[int32]bool{}
+		x := int32(i)
+		for parent[x] != -1 {
+			if seen[x] {
+				t.Fatalf("cycle detected at node %d", i)
+			}
+			seen[x] = true
+			x = parent[x]
+		}
+	}
+}
+
+// Property: Prim's total matches Kruskal's on random graphs.
+func TestPrimMatchesKruskalProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := 2 + rng.Intn(20)
+		root := make([]int64, n)
+		for i := range root {
+			root[i] = int64(rng.Intn(50) + 1)
+		}
+		var edges [][3]int64
+		ne := rng.Intn(3 * n)
+		for i := 0; i < ne; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			edges = append(edges, [3]int64{int64(u), int64(v), int64(rng.Intn(60) + 1)})
+		}
+		g := buildGraph(n, root, edges)
+		_, total := Prim(g)
+		return total == bruteMST(n, root, edges)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the parent edge of x never exceeds its virtual edge weight
+// (Property 1 of the paper follows from this).
+func TestPrimParentNeverWorseThanVirtualProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := 2 + rng.Intn(25)
+		root := make([]int64, n)
+		for i := range root {
+			root[i] = int64(rng.Intn(40) + 1)
+		}
+		var edges [][3]int64
+		for i := 0; i < 2*n; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			edges = append(edges, [3]int64{int64(u), int64(v), int64(rng.Intn(80) + 1)})
+		}
+		g := buildGraph(n, root, edges)
+		parent, _ := Prim(g)
+		// weight lookup for chosen parent edges
+		w := map[[2]int32]int64{}
+		for _, e := range edges {
+			a, b := int32(e[0]), int32(e[1])
+			key := [2]int32{minI32(a, b), maxI32(a, b)}
+			if old, ok := w[key]; !ok || e[2] < old {
+				w[key] = e[2]
+			}
+		}
+		for x := 0; x < n; x++ {
+			p := parent[x]
+			if p < 0 {
+				continue
+			}
+			key := [2]int32{minI32(int32(x), p), maxI32(int32(x), p)}
+			if w[key] > root[x] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func minI32(a, b int32) int32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxI32(a, b int32) int32 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,212 @@
+// Package parallel provides shared-memory work distribution primitives
+// used throughout the repository: static and dynamic parallel loops and
+// a simple fork-join helper. They play the role OpenMP's "parallel for"
+// (static and dynamic schedules) plays in the paper's C++ implementation.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultThreads returns the default worker count: GOMAXPROCS.
+func DefaultThreads() int {
+	return runtime.GOMAXPROCS(0)
+}
+
+// clampThreads normalizes a requested thread count: values < 1 mean
+// "use the default", and the count never exceeds n (no point spawning
+// workers with no iterations to run).
+func clampThreads(threads, n int) int {
+	if threads < 1 {
+		threads = DefaultThreads()
+	}
+	if threads > n {
+		threads = n
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	return threads
+}
+
+// For runs body(i) for i in [0, n) using a static block distribution
+// over the given number of threads. threads < 1 selects
+// DefaultThreads(). It corresponds to OpenMP's schedule(static).
+//
+// body must be safe to call concurrently for distinct i.
+func For(n, threads int, body func(i int)) {
+	if n <= 0 {
+		return
+	}
+	threads = clampThreads(threads, n)
+	if threads == 1 {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + threads - 1) / threads
+	for t := 0; t < threads; t++ {
+		lo := t * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				body(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ForRange runs body(lo, hi) over a static partition of [0, n) into
+// one contiguous block per thread. It is the cheapest schedule when
+// per-iteration work is uniform and lets the body keep per-block state.
+func ForRange(n, threads int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	threads = clampThreads(threads, n)
+	if threads == 1 {
+		body(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + threads - 1) / threads
+	for t := 0; t < threads; t++ {
+		lo := t * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ForDynamic runs body(i) for i in [0, n) with dynamic scheduling:
+// workers grab chunks of `grain` consecutive iterations from a shared
+// atomic counter. It corresponds to OpenMP's schedule(dynamic, grain)
+// and is the right choice when iteration costs are skewed (e.g. the
+// update-stage branches of a CBM compression tree).
+func ForDynamic(n, threads, grain int, body func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	threads = clampThreads(threads, (n+grain-1)/grain)
+	if threads == 1 {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(threads)
+	for t := 0; t < threads; t++ {
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(next.Add(int64(grain))) - grain
+				if lo >= n {
+					return
+				}
+				hi := lo + grain
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					body(i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Do runs the given functions concurrently and waits for all of them.
+func Do(fns ...func()) {
+	if len(fns) == 1 {
+		fns[0]()
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(fns))
+	for _, fn := range fns {
+		go func(f func()) {
+			defer wg.Done()
+			f()
+		}(fn)
+	}
+	wg.Wait()
+}
+
+// Reduce computes a parallel reduction over [0, n): each worker folds
+// its block with body into a fresh accumulator obtained from zero(),
+// and the per-worker results are combined left-to-right with merge.
+// merge must be associative; worker results are merged in block order,
+// so non-commutative merges (e.g. float summation order) remain
+// deterministic for a fixed thread count.
+func Reduce[T any](n, threads int, zero func() T, body func(acc T, i int) T, merge func(a, b T) T) T {
+	if n <= 0 {
+		return zero()
+	}
+	threads = clampThreads(threads, n)
+	if threads == 1 {
+		acc := zero()
+		for i := 0; i < n; i++ {
+			acc = body(acc, i)
+		}
+		return acc
+	}
+	parts := make([]T, threads)
+	var wg sync.WaitGroup
+	chunk := (n + threads - 1) / threads
+	used := 0
+	for t := 0; t < threads; t++ {
+		lo := t * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		used++
+		wg.Add(1)
+		go func(t, lo, hi int) {
+			defer wg.Done()
+			acc := zero()
+			for i := lo; i < hi; i++ {
+				acc = body(acc, i)
+			}
+			parts[t] = acc
+		}(t, lo, hi)
+	}
+	wg.Wait()
+	acc := parts[0]
+	for t := 1; t < used; t++ {
+		acc = merge(acc, parts[t])
+	}
+	return acc
+}

@@ -1,0 +1,127 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForCoversAllIndices(t *testing.T) {
+	for _, threads := range []int{0, 1, 2, 3, 8, 100} {
+		for _, n := range []int{0, 1, 5, 16, 97} {
+			hits := make([]int32, n)
+			For(n, threads, func(i int) { atomic.AddInt32(&hits[i], 1) })
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("threads=%d n=%d: index %d hit %d times", threads, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestForRangeCoversDisjointBlocks(t *testing.T) {
+	for _, threads := range []int{1, 2, 7, 16} {
+		n := 103
+		hits := make([]int32, n)
+		ForRange(n, threads, func(lo, hi int) {
+			if lo >= hi {
+				t.Errorf("empty block [%d,%d)", lo, hi)
+			}
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("threads=%d: index %d hit %d times", threads, i, h)
+			}
+		}
+	}
+}
+
+func TestForDynamicCoversAllIndices(t *testing.T) {
+	for _, threads := range []int{0, 1, 4, 9} {
+		for _, grain := range []int{0, 1, 3, 64} {
+			n := 777
+			hits := make([]int32, n)
+			ForDynamic(n, threads, grain, func(i int) { atomic.AddInt32(&hits[i], 1) })
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("threads=%d grain=%d: index %d hit %d times", threads, grain, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestForZeroAndNegativeN(t *testing.T) {
+	called := false
+	For(0, 4, func(int) { called = true })
+	For(-3, 4, func(int) { called = true })
+	ForDynamic(0, 4, 1, func(int) { called = true })
+	ForRange(-1, 4, func(int, int) { called = true })
+	if called {
+		t.Fatal("body called for non-positive n")
+	}
+}
+
+func TestDoRunsAll(t *testing.T) {
+	var a, b, c atomic.Int32
+	Do(
+		func() { a.Store(1) },
+		func() { b.Store(2) },
+		func() { c.Store(3) },
+	)
+	if a.Load() != 1 || b.Load() != 2 || c.Load() != 3 {
+		t.Fatalf("Do missed a function: %d %d %d", a.Load(), b.Load(), c.Load())
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	for _, threads := range []int{1, 2, 5, 16} {
+		n := 1000
+		got := Reduce(n, threads,
+			func() int64 { return 0 },
+			func(acc int64, i int) int64 { return acc + int64(i) },
+			func(a, b int64) int64 { return a + b },
+		)
+		want := int64(n*(n-1)) / 2
+		if got != want {
+			t.Fatalf("threads=%d: Reduce = %d, want %d", threads, got, want)
+		}
+	}
+}
+
+func TestReduceEmptyReturnsZero(t *testing.T) {
+	got := Reduce(0, 4,
+		func() int { return 42 },
+		func(acc, i int) int { return acc + i },
+		func(a, b int) int { return a + b },
+	)
+	if got != 42 {
+		t.Fatalf("Reduce(0) = %d, want zero() = 42", got)
+	}
+}
+
+// Property: parallel sum equals sequential sum for any thread count.
+func TestReduceDeterministicProperty(t *testing.T) {
+	f := func(nRaw uint16, tRaw uint8) bool {
+		n := int(nRaw % 2000)
+		threads := int(tRaw%16) + 1
+		seq := Reduce(n, 1,
+			func() int64 { return 0 },
+			func(acc int64, i int) int64 { return acc + int64(i*i) },
+			func(a, b int64) int64 { return a + b },
+		)
+		par := Reduce(n, threads,
+			func() int64 { return 0 },
+			func(acc int64, i int) int64 { return acc + int64(i*i) },
+			func(a, b int64) int64 { return a + b },
+		)
+		return seq == par
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

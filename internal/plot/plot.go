@@ -1,0 +1,148 @@
+// Package plot renders small ASCII line charts. The paper's Fig. 2 is
+// a grid of speedup/compression-vs-α plots; cbmbench uses this package
+// to regenerate them as terminal output next to the numeric tables.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line with an optional per-series glyph.
+type Series struct {
+	Name   string
+	Glyph  rune
+	Values []float64
+}
+
+// Chart is a simple multi-series line chart over shared x labels.
+type Chart struct {
+	Title   string
+	XLabels []string
+	Series  []Series
+	Height  int // plot rows, default 10
+	YMin    float64
+	YMax    float64 // YMax ≤ YMin (e.g. both zero) = autoscale
+}
+
+// defaultGlyphs assigns glyphs to series without one.
+var defaultGlyphs = []rune{'*', 'o', '+', 'x', '#', '@'}
+
+// Render draws the chart as text: a y-axis with min/mid/max labels, one
+// column per x position, series glyphs overlaid ('!' where two series
+// collide), and a legend.
+func (c *Chart) Render() string {
+	height := c.Height
+	if height <= 0 {
+		height = 10
+	}
+	width := len(c.XLabels)
+	for _, s := range c.Series {
+		if len(s.Values) > width {
+			width = len(s.Values)
+		}
+	}
+	if width == 0 || len(c.Series) == 0 {
+		return c.Title + "\n(no data)\n"
+	}
+
+	lo, hi := c.YMin, c.YMax
+	if hi <= lo {
+		lo, hi = math.Inf(1), math.Inf(-1)
+		for _, s := range c.Series {
+			for _, v := range s.Values {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					continue
+				}
+				lo = math.Min(lo, v)
+				hi = math.Max(hi, v)
+			}
+		}
+		if math.IsInf(lo, 1) { // all values invalid
+			lo, hi = 0, 1
+		}
+		if hi == lo {
+			hi = lo + 1
+		}
+		// pad 5% so extremes don't sit on the frame
+		pad := (hi - lo) * 0.05
+		lo -= pad
+		hi += pad
+	}
+
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", width*3))
+	}
+	rowOf := func(v float64) int {
+		frac := (v - lo) / (hi - lo)
+		r := int(math.Round(frac * float64(height-1)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return height - 1 - r // row 0 is the top
+	}
+	for si, s := range c.Series {
+		glyph := s.Glyph
+		if glyph == 0 {
+			glyph = defaultGlyphs[si%len(defaultGlyphs)]
+		}
+		for xi, v := range s.Values {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			col := xi*3 + 1
+			r := rowOf(v)
+			if grid[r][col] != ' ' && grid[r][col] != glyph {
+				grid[r][col] = '!'
+			} else {
+				grid[r][col] = glyph
+			}
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	yLabel := func(row int) string {
+		switch row {
+		case 0:
+			return fmt.Sprintf("%7.2f", hi)
+		case height - 1:
+			return fmt.Sprintf("%7.2f", lo)
+		case height / 2:
+			return fmt.Sprintf("%7.2f", (hi+lo)/2)
+		default:
+			return strings.Repeat(" ", 7)
+		}
+	}
+	for r := 0; r < height; r++ {
+		fmt.Fprintf(&b, "%s |%s\n", yLabel(r), string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", 7), strings.Repeat("-", width*3))
+	// x labels, centered in their 3-char slots
+	var xs strings.Builder
+	for _, l := range c.XLabels {
+		if len(l) > 3 {
+			l = l[:3]
+		}
+		pad := 3 - len(l)
+		left := pad / 2
+		xs.WriteString(strings.Repeat(" ", left) + l + strings.Repeat(" ", pad-left))
+	}
+	fmt.Fprintf(&b, "%s  %s\n", strings.Repeat(" ", 7), xs.String())
+	// legend
+	for si, s := range c.Series {
+		glyph := s.Glyph
+		if glyph == 0 {
+			glyph = defaultGlyphs[si%len(defaultGlyphs)]
+		}
+		fmt.Fprintf(&b, "%s %c %s\n", strings.Repeat(" ", 7), glyph, s.Name)
+	}
+	return b.String()
+}

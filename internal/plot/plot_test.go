@@ -1,0 +1,95 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRenderBasicShape(t *testing.T) {
+	c := &Chart{
+		Title:   "test chart",
+		XLabels: []string{"0", "1", "2", "4"},
+		Series: []Series{
+			{Name: "up", Values: []float64{1, 2, 3, 4}},
+			{Name: "down", Values: []float64{4, 3, 2, 1}},
+		},
+		Height: 6,
+	}
+	out := c.Render()
+	if !strings.Contains(out, "test chart") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "up") || !strings.Contains(out, "down") {
+		t.Fatal("missing legend")
+	}
+	lines := strings.Split(out, "\n")
+	// title + 6 plot rows + axis + xlabels + 2 legend + trailing
+	if len(lines) < 10 {
+		t.Fatalf("too few lines: %d\n%s", len(lines), out)
+	}
+	// the rising series' glyph must appear in the top row region and
+	// the bottom row region (start low, end high)
+	if !strings.ContainsRune(lines[1], '*') && !strings.ContainsRune(lines[1], '!') {
+		t.Fatalf("expected a point near the top:\n%s", out)
+	}
+}
+
+func TestRenderCollisionsMarked(t *testing.T) {
+	c := &Chart{
+		XLabels: []string{"a", "b"},
+		Series: []Series{
+			{Name: "s1", Values: []float64{1, 2}},
+			{Name: "s2", Values: []float64{1, 5}},
+		},
+		Height: 4,
+	}
+	out := c.Render()
+	if !strings.ContainsRune(out, '!') {
+		t.Fatalf("collision glyph missing:\n%s", out)
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	c := &Chart{
+		XLabels: []string{"0", "1"},
+		Series:  []Series{{Name: "flat", Values: []float64{2, 2}}},
+	}
+	out := c.Render()
+	if !strings.Contains(out, "flat") {
+		t.Fatalf("constant series broke rendering:\n%s", out)
+	}
+}
+
+func TestRenderHandlesNaNAndInf(t *testing.T) {
+	c := &Chart{
+		XLabels: []string{"0", "1", "2"},
+		Series:  []Series{{Name: "bad", Values: []float64{1, math.NaN(), math.Inf(1)}}},
+	}
+	out := c.Render()
+	if out == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	c := &Chart{Title: "empty"}
+	out := c.Render()
+	if !strings.Contains(out, "no data") {
+		t.Fatalf("empty chart: %q", out)
+	}
+}
+
+func TestRenderFixedScale(t *testing.T) {
+	c := &Chart{
+		XLabels: []string{"0"},
+		Series:  []Series{{Name: "s", Values: []float64{5}}},
+		YMin:    0,
+		YMax:    10,
+		Height:  5,
+	}
+	out := c.Render()
+	if !strings.Contains(out, "10.00") || !strings.Contains(out, "0.00") {
+		t.Fatalf("fixed scale labels missing:\n%s", out)
+	}
+}

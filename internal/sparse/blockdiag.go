@@ -1,0 +1,41 @@
+package sparse
+
+// BlockDiag assembles the block-diagonal matrix of the given square
+// matrices: the standard way GNN frameworks batch many small graphs
+// into one adjacency so a whole batch is processed with a single
+// sparse product (the graph-classification workload of the paper's
+// Sec. II). Row/column i of block k maps to offset_k + i, where
+// offset_k = Σ_{j<k} n_j; the returned offsets slice has one entry per
+// block plus the final total, so callers can slice per-graph results
+// out of a batched product.
+func BlockDiag(blocks ...*CSR) (*CSR, []int32) {
+	offsets := make([]int32, len(blocks)+1)
+	nnz := 0
+	for k, b := range blocks {
+		if b.Rows != b.Cols {
+			panic("sparse: BlockDiag needs square blocks")
+		}
+		offsets[k+1] = offsets[k] + int32(b.Rows)
+		nnz += b.NNZ()
+	}
+	n := int(offsets[len(blocks)])
+	out := &CSR{Rows: n, Cols: n,
+		RowPtr: make([]int32, n+1),
+		ColIdx: make([]int32, 0, nnz),
+		Vals:   make([]float32, 0, nnz),
+	}
+	row := 0
+	for k, b := range blocks {
+		off := offsets[k]
+		for i := 0; i < b.Rows; i++ {
+			cols, vals := b.Row(i)
+			for kk, c := range cols {
+				out.ColIdx = append(out.ColIdx, c+off)
+				out.Vals = append(out.Vals, vals[kk])
+			}
+			row++
+			out.RowPtr[row] = int32(len(out.ColIdx))
+		}
+	}
+	return out, offsets
+}

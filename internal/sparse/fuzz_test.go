@@ -1,0 +1,45 @@
+package sparse
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadEdgeList checks the parser never panics and that anything it
+// accepts is a valid binary CSR that survives a write/read round trip.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("0 1\n1 2\n")
+	f.Add("# nodes 4 cols 4 edges 1\n0 3\n")
+	f.Add("")
+	f.Add("# comment only\n")
+	f.Add("5 5\n")
+	f.Add("0 1 extra tokens ok\n")
+	f.Add("9999999999999999999999 1\n")
+	f.Add("-3 1\n")
+	f.Add("a b\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		m, err := ReadEdgeList(strings.NewReader(input))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("accepted invalid matrix: %v", err)
+		}
+		if !m.IsBinary() {
+			t.Fatal("accepted non-binary matrix")
+		}
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, m); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		back, err := ReadEdgeList(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if back.NNZ() != m.NNZ() || back.Rows != m.Rows {
+			t.Fatalf("round trip changed shape: %d/%d vs %d/%d",
+				back.Rows, back.NNZ(), m.Rows, m.NNZ())
+		}
+	})
+}

@@ -1,0 +1,111 @@
+package sparse
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteEdgeList writes the non-zero pattern of a binary square matrix
+// as a plain-text edge list: one "src dst" pair per line, plus a header
+// comment with the shape. Values are not written; the format targets
+// unweighted graphs (the paper drops edge weights for ogbn-proteins the
+// same way).
+func WriteEdgeList(w io.Writer, m *CSR) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# nodes %d cols %d edges %d\n", m.Rows, m.Cols, m.NNZ()); err != nil {
+		return err
+	}
+	for i := 0; i < m.Rows; i++ {
+		for _, c := range m.RowCols(i) {
+			if _, err := fmt.Fprintf(bw, "%d %d\n", i, c); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the format written by WriteEdgeList, or any
+// whitespace-separated "src dst" list with '#'-prefixed comments. If no
+// header is present, the shape is inferred as (max index + 1) square.
+// The result is a canonical binary CSR matrix.
+func ReadEdgeList(r io.Reader) (*CSR, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	rows, cols := -1, -1
+	var src, dst []int32
+	maxIdx := int32(-1)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			f := strings.Fields(line)
+			// Recognized header: "# nodes N cols M edges E".
+			for i := 0; i+1 < len(f); i++ {
+				switch f[i] {
+				case "nodes":
+					if v, err := strconv.Atoi(f[i+1]); err == nil {
+						rows = v
+					}
+				case "cols":
+					if v, err := strconv.Atoi(f[i+1]); err == nil {
+						cols = v
+					}
+				}
+			}
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 2 {
+			return nil, fmt.Errorf("sparse: edge list line %d: want 2 fields, got %d", lineNo, len(f))
+		}
+		a, err := strconv.ParseInt(f[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("sparse: edge list line %d: %v", lineNo, err)
+		}
+		b, err := strconv.ParseInt(f[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("sparse: edge list line %d: %v", lineNo, err)
+		}
+		if a < 0 || b < 0 {
+			return nil, fmt.Errorf("sparse: edge list line %d: negative index", lineNo)
+		}
+		src = append(src, int32(a))
+		dst = append(dst, int32(b))
+		if int32(a) > maxIdx {
+			maxIdx = int32(a)
+		}
+		if int32(b) > maxIdx {
+			maxIdx = int32(b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if rows < 0 {
+		rows = int(maxIdx) + 1
+	}
+	if cols < 0 {
+		cols = rows
+	}
+	coo := NewCOO(rows, cols)
+	for i := range src {
+		if int(src[i]) >= rows || int(dst[i]) >= cols {
+			return nil, fmt.Errorf("sparse: edge (%d,%d) exceeds declared shape %d×%d", src[i], dst[i], rows, cols)
+		}
+		coo.Append(int(src[i]), int(dst[i]), 1)
+	}
+	csr := coo.ToCSR()
+	// Collapse duplicate-edge sums back to binary.
+	for i := range csr.Vals {
+		csr.Vals[i] = 1
+	}
+	return csr, nil
+}

@@ -1,0 +1,76 @@
+package sparse
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	rng := xrand.New(21)
+	m := randomBinaryCSR(rng, 30, 30, 0.1)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rows != m.Rows || got.Cols != m.Cols {
+		t.Fatalf("shape %d×%d, want %d×%d", got.Rows, got.Cols, m.Rows, m.Cols)
+	}
+	if !got.ToDense().Equal(m.ToDense()) {
+		t.Fatal("round trip differs")
+	}
+}
+
+func TestReadEdgeListInfersShape(t *testing.T) {
+	in := "0 1\n1 2\n2 0\n"
+	m, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != 3 || m.Cols != 3 || m.NNZ() != 3 {
+		t.Fatalf("inferred %d×%d nnz=%d", m.Rows, m.Cols, m.NNZ())
+	}
+}
+
+func TestReadEdgeListDeduplicates(t *testing.T) {
+	in := "0 1\n0 1\n0 1\n"
+	m, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != 1 || !m.IsBinary() {
+		t.Fatalf("nnz=%d binary=%v", m.NNZ(), m.IsBinary())
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"0\n",              // too few fields
+		"a b\n",            // non-numeric
+		"0 x\n",            // non-numeric second
+		"-1 2\n",           // negative
+		"# nodes 2\n0 5\n", // exceeds declared shape
+	}
+	for _, in := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
+			t.Fatalf("input %q: expected error", in)
+		}
+	}
+}
+
+func TestReadEdgeListSkipsCommentsAndBlank(t *testing.T) {
+	in := "# a comment\n\n0 1\n\n# another\n1 0\n"
+	m, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != 2 {
+		t.Fatalf("nnz = %d, want 2", m.NNZ())
+	}
+}

@@ -1,0 +1,155 @@
+package sparse
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// MatrixMarket I/O. The paper's public datasets (coPapersDBLP,
+// coPapersCiteseer via the SuiteSparse/Network Repository, the SNAP
+// graphs via conversion) are distributed as MatrixMarket coordinate
+// files, so a reproduction that can ingest the real data when it is
+// available needs this reader. Supported: "matrix coordinate
+// real|pattern|integer general|symmetric". Writer emits coordinate
+// pattern/real general with 1-based indices per the spec.
+
+// ReadMatrixMarket parses a MatrixMarket coordinate stream into a
+// canonical CSR matrix. For "symmetric" files the mirrored entries are
+// materialized (diagonal entries once). "pattern" entries get value 1.
+func ReadMatrixMarket(r io.Reader) (*CSR, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+
+	if !sc.Scan() {
+		return nil, fmt.Errorf("sparse: empty MatrixMarket stream")
+	}
+	header := strings.Fields(strings.ToLower(sc.Text()))
+	if len(header) < 5 || header[0] != "%%matrixmarket" || header[1] != "matrix" {
+		return nil, fmt.Errorf("sparse: bad MatrixMarket header %q", sc.Text())
+	}
+	format, field, symmetry := header[2], header[3], header[4]
+	if format != "coordinate" {
+		return nil, fmt.Errorf("sparse: unsupported MatrixMarket format %q (only coordinate)", format)
+	}
+	switch field {
+	case "real", "pattern", "integer":
+	default:
+		return nil, fmt.Errorf("sparse: unsupported MatrixMarket field %q", field)
+	}
+	switch symmetry {
+	case "general", "symmetric":
+	default:
+		return nil, fmt.Errorf("sparse: unsupported MatrixMarket symmetry %q", symmetry)
+	}
+
+	// Skip comments, read the size line.
+	var rows, cols, nnz int
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) != 3 {
+			return nil, fmt.Errorf("sparse: bad MatrixMarket size line %q", line)
+		}
+		var err error
+		if rows, err = strconv.Atoi(f[0]); err != nil {
+			return nil, fmt.Errorf("sparse: size line: %v", err)
+		}
+		if cols, err = strconv.Atoi(f[1]); err != nil {
+			return nil, fmt.Errorf("sparse: size line: %v", err)
+		}
+		if nnz, err = strconv.Atoi(f[2]); err != nil {
+			return nil, fmt.Errorf("sparse: size line: %v", err)
+		}
+		break
+	}
+	if rows < 0 || cols < 0 || nnz < 0 {
+		return nil, fmt.Errorf("sparse: negative MatrixMarket dimensions")
+	}
+
+	coo := NewCOO(rows, cols)
+	read := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		f := strings.Fields(line)
+		wantFields := 3
+		if field == "pattern" {
+			wantFields = 2
+		}
+		if len(f) < wantFields {
+			return nil, fmt.Errorf("sparse: MatrixMarket entry %q: want %d fields", line, wantFields)
+		}
+		i64, err := strconv.ParseInt(f[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("sparse: MatrixMarket entry: %v", err)
+		}
+		j64, err := strconv.ParseInt(f[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("sparse: MatrixMarket entry: %v", err)
+		}
+		i, j := int(i64)-1, int(j64)-1 // 1-based → 0-based
+		if i < 0 || i >= rows || j < 0 || j >= cols {
+			return nil, fmt.Errorf("sparse: MatrixMarket entry (%d,%d) out of %d×%d", i64, j64, rows, cols)
+		}
+		v := float32(1)
+		if field != "pattern" {
+			fv, err := strconv.ParseFloat(f[2], 32)
+			if err != nil {
+				return nil, fmt.Errorf("sparse: MatrixMarket value: %v", err)
+			}
+			v = float32(fv)
+		}
+		coo.Append(i, j, v)
+		if symmetry == "symmetric" && i != j {
+			coo.Append(j, i, v)
+		}
+		read++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if read != nnz {
+		return nil, fmt.Errorf("sparse: MatrixMarket declared %d entries, found %d", nnz, read)
+	}
+	return coo.ToCSR(), nil
+}
+
+// WriteMatrixMarket writes m as a MatrixMarket coordinate file. Binary
+// matrices are emitted as "pattern", others as "real"; symmetry is
+// always "general" (exact entries as stored).
+func WriteMatrixMarket(w io.Writer, m *CSR) error {
+	bw := bufio.NewWriter(w)
+	field := "real"
+	if m.IsBinary() {
+		field = "pattern"
+	}
+	if _, err := fmt.Fprintf(bw, "%%%%MatrixMarket matrix coordinate %s general\n", field); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(bw, "%d %d %d\n", m.Rows, m.Cols, m.NNZ()); err != nil {
+		return err
+	}
+	for i := 0; i < m.Rows; i++ {
+		cols, vals := m.Row(i)
+		for k, c := range cols {
+			var err error
+			if field == "pattern" {
+				_, err = fmt.Fprintf(bw, "%d %d\n", i+1, c+1)
+			} else {
+				_, err = fmt.Fprintf(bw, "%d %d %g\n", i+1, c+1, vals[k])
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}

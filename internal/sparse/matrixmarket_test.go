@@ -1,0 +1,112 @@
+package sparse
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestMatrixMarketRoundTripPattern(t *testing.T) {
+	rng := xrand.New(1)
+	m := randomBinaryCSR(rng, 25, 25, 0.15)
+	var buf bytes.Buffer
+	if err := WriteMatrixMarket(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "pattern") {
+		t.Fatal("binary matrix should be written as pattern")
+	}
+	back, err := ReadMatrixMarket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.ToDense().Equal(m.ToDense()) {
+		t.Fatal("pattern round trip differs")
+	}
+}
+
+func TestMatrixMarketRoundTripReal(t *testing.T) {
+	rng := xrand.New(2)
+	m := randomValuedCSR(rng, 12, 17, 0.2)
+	var buf bytes.Buffer
+	if err := WriteMatrixMarket(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadMatrixMarket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	md, bd := m.ToDense(), back.ToDense()
+	for i := range md.Data {
+		diff := float64(md.Data[i] - bd.Data[i])
+		if diff > 1e-5 || diff < -1e-5 {
+			t.Fatalf("real round trip differs at %d: %v vs %v", i, md.Data[i], bd.Data[i])
+		}
+	}
+}
+
+func TestMatrixMarketSymmetric(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate pattern symmetric
+% a comment
+3 3 3
+1 1
+2 1
+3 2
+`
+	m, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// entries: (0,0), (1,0)+(0,1), (2,1)+(1,2) → 5 stored
+	if m.NNZ() != 5 {
+		t.Fatalf("nnz = %d, want 5", m.NNZ())
+	}
+	if !m.IsSymmetric() {
+		t.Fatal("symmetric file produced asymmetric matrix")
+	}
+}
+
+func TestMatrixMarketIntegerField(t *testing.T) {
+	in := "%%MatrixMarket matrix coordinate integer general\n2 2 2\n1 1 3\n2 2 -1\n"
+	m, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := m.ToDense()
+	if d.At(0, 0) != 3 || d.At(1, 1) != -1 {
+		t.Fatalf("integer values wrong: %v", d)
+	}
+}
+
+func TestMatrixMarketErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":          "",
+		"bad header":     "%%NotMatrixMarket matrix coordinate real general\n1 1 0\n",
+		"array format":   "%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n",
+		"bad field":      "%%MatrixMarket matrix coordinate complex general\n1 1 0\n",
+		"bad symmetry":   "%%MatrixMarket matrix coordinate real hermitian\n1 1 0\n",
+		"bad size":       "%%MatrixMarket matrix coordinate real general\n1 1\n",
+		"out of range":   "%%MatrixMarket matrix coordinate real general\n2 2 1\n5 1 1.0\n",
+		"missing value":  "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1\n",
+		"count mismatch": "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1.0\n",
+		"non-numeric":    "%%MatrixMarket matrix coordinate real general\n2 2 1\nx y z\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadMatrixMarket(strings.NewReader(in)); err == nil {
+			t.Fatalf("%s: accepted", name)
+		}
+	}
+}
+
+func TestMatrixMarketSkipsCommentsAndBlankLines(t *testing.T) {
+	in := "%%MatrixMarket matrix coordinate pattern general\n%c1\n\n%c2\n3 3 2\n\n1 2\n% mid comment\n3 3\n"
+	m, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != 2 {
+		t.Fatalf("nnz = %d, want 2", m.NNZ())
+	}
+}

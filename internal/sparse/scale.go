@@ -1,0 +1,32 @@
+package sparse
+
+// ScaleCols returns a copy of m with column j scaled by d[j], i.e. the
+// matrix M·diag(d). The paper's CSR baseline represents AD and DAD as a
+// single pre-scaled CSR matrix; these helpers build it.
+func (m *CSR) ScaleCols(d []float32) *CSR {
+	if len(d) != m.Cols {
+		panic("sparse: ScaleCols length mismatch")
+	}
+	out := m.Clone()
+	for k, c := range out.ColIdx {
+		out.Vals[k] *= d[c]
+	}
+	return out
+}
+
+// ScaleRows returns a copy of m with row i scaled by d[i], i.e. the
+// matrix diag(d)·M.
+func (m *CSR) ScaleRows(d []float32) *CSR {
+	if len(d) != m.Rows {
+		panic("sparse: ScaleRows length mismatch")
+	}
+	out := m.Clone()
+	for i := 0; i < out.Rows; i++ {
+		lo, hi := out.RowPtr[i], out.RowPtr[i+1]
+		di := d[i]
+		for k := lo; k < hi; k++ {
+			out.Vals[k] *= di
+		}
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+package sparse
+
+import (
+	"fmt"
+
+	"repro/internal/parallel"
+)
+
+// SpGEMM computes the sparse-sparse product C = A·B in canonical CSR
+// form using Gustavson's row-wise algorithm with a dense accumulator
+// per worker. This is the kernel behind the paper's explicit AAᵀ
+// construction of the CBM distance graph (Sec. VIII discusses its
+// memory cost — for A·Aᵀ the result can be far denser than A, which is
+// what the clustered compression path avoids).
+func SpGEMM(a, b *CSR, threads int) *CSR {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("sparse: SpGEMM shape mismatch %d×%d · %d×%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := &CSR{Rows: a.Rows, Cols: b.Cols, RowPtr: make([]int32, a.Rows+1)}
+	rowsCols := make([][]int32, a.Rows)
+	rowsVals := make([][]float32, a.Rows)
+
+	parallel.ForRange(a.Rows, threads, func(lo, hi int) {
+		acc := make([]float32, b.Cols)
+		touched := make([]int32, 0, 256)
+		for i := lo; i < hi; i++ {
+			touched = touched[:0]
+			aCols, aVals := a.Row(i)
+			for k, ac := range aCols {
+				av := aVals[k]
+				bCols, bVals := b.Row(int(ac))
+				for k2, bc := range bCols {
+					if acc[bc] == 0 {
+						touched = append(touched, bc)
+					}
+					acc[bc] += av * bVals[k2]
+				}
+			}
+			if len(touched) == 0 {
+				continue
+			}
+			sortInt32(touched)
+			cols := make([]int32, 0, len(touched))
+			vals := make([]float32, 0, len(touched))
+			for _, c := range touched {
+				v := acc[c]
+				acc[c] = 0
+				if v != 0 { // numerical cancellation drops the entry
+					cols = append(cols, c)
+					vals = append(vals, v)
+				}
+			}
+			rowsCols[i] = cols
+			rowsVals[i] = vals
+		}
+	})
+
+	nnz := 0
+	for i := range rowsCols {
+		nnz += len(rowsCols[i])
+		out.RowPtr[i+1] = int32(nnz)
+	}
+	out.ColIdx = make([]int32, 0, nnz)
+	out.Vals = make([]float32, 0, nnz)
+	for i := range rowsCols {
+		out.ColIdx = append(out.ColIdx, rowsCols[i]...)
+		out.Vals = append(out.Vals, rowsVals[i]...)
+	}
+	return out
+}
+
+// sortInt32 sorts ascending in place; insertion sort below 32 elements
+// (the common case for sparse rows), quicksort above.
+func sortInt32(a []int32) {
+	if len(a) < 32 {
+		insertionInt32(a)
+		return
+	}
+	quicksortInt32(a, 0, len(a)-1)
+}
+
+func insertionInt32(a []int32) {
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}
+
+func quicksortInt32(a []int32, lo, hi int) {
+	for lo < hi {
+		if hi-lo < 32 {
+			insertionInt32(a[lo : hi+1])
+			return
+		}
+		p := a[(lo+hi)/2]
+		i, j := lo, hi
+		for i <= j {
+			for a[i] < p {
+				i++
+			}
+			for a[j] > p {
+				j--
+			}
+			if i <= j {
+				a[i], a[j] = a[j], a[i]
+				i++
+				j--
+			}
+		}
+		if j-lo < hi-i {
+			quicksortInt32(a, lo, j)
+			lo = i
+		} else {
+			quicksortInt32(a, i, hi)
+			hi = j
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package sparse
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dense"
+	"repro/internal/xrand"
+)
+
+func randomValuedCSR(rng *xrand.RNG, rows, cols int, density float64) *CSR {
+	coo := NewCOO(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if rng.Float64() < density {
+				coo.Append(i, j, rng.Float32()*2-1)
+			}
+		}
+	}
+	return coo.ToCSR()
+}
+
+func TestSpGEMMMatchesDense(t *testing.T) {
+	rng := xrand.New(1)
+	a := randomValuedCSR(rng, 17, 23, 0.2)
+	b := randomValuedCSR(rng, 23, 11, 0.2)
+	c := SpGEMM(a, b, 1)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want := dense.Mul(a.ToDense(), b.ToDense())
+	if d := dense.MaxRelDiff(c.ToDense(), want, 1); d > 1e-5 {
+		t.Fatalf("SpGEMM rel diff %v", d)
+	}
+}
+
+func TestSpGEMMParallelMatchesSequential(t *testing.T) {
+	rng := xrand.New(2)
+	a := randomValuedCSR(rng, 60, 60, 0.1)
+	b := randomValuedCSR(rng, 60, 60, 0.1)
+	seq := SpGEMM(a, b, 1)
+	for _, threads := range []int{2, 4, 0} {
+		par := SpGEMM(a, b, threads)
+		if !seq.ToDense().Equal(par.ToDense()) {
+			t.Fatalf("threads=%d: parallel SpGEMM differs", threads)
+		}
+	}
+}
+
+func TestSpGEMMAAT(t *testing.T) {
+	// AAᵀ of a binary matrix: diagonal holds row nnz, off-diagonal
+	// (x,y) holds |row x ∩ row y| — exactly the intersection counts the
+	// CBM candidate pass needs (Sec. III of the paper).
+	a := FromAdjacency(3, 4, [][]int32{
+		{0, 1, 2},
+		{1, 2, 3},
+		{3},
+	})
+	c := SpGEMM(a, a.Transpose(), 1)
+	d := c.ToDense()
+	want := [][]float32{
+		{3, 2, 0},
+		{2, 3, 1},
+		{0, 1, 1},
+	}
+	for i := range want {
+		for j := range want[i] {
+			if d.At(i, j) != want[i][j] {
+				t.Fatalf("AAT[%d][%d] = %v, want %v", i, j, d.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestSpGEMMEmptyOperands(t *testing.T) {
+	a := NewCSR(3, 4)
+	b := NewCSR(4, 2)
+	c := SpGEMM(a, b, 1)
+	if c.NNZ() != 0 || c.Rows != 3 || c.Cols != 2 {
+		t.Fatalf("empty SpGEMM = %d×%d nnz %d", c.Rows, c.Cols, c.NNZ())
+	}
+}
+
+func TestSpGEMMShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SpGEMM(NewCSR(2, 3), NewCSR(4, 2), 1)
+}
+
+func TestSortInt32(t *testing.T) {
+	rng := xrand.New(3)
+	for _, n := range []int{0, 1, 2, 31, 32, 33, 500} {
+		a := make([]int32, n)
+		for i := range a {
+			a[i] = int32(rng.Intn(100))
+		}
+		sortInt32(a)
+		for i := 1; i < n; i++ {
+			if a[i-1] > a[i] {
+				t.Fatalf("n=%d: not sorted at %d", n, i)
+			}
+		}
+	}
+}
+
+// Property: SpGEMM associates with dense reference on random inputs.
+func TestSpGEMMProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		r := 1 + rng.Intn(15)
+		k := 1 + rng.Intn(15)
+		c := 1 + rng.Intn(15)
+		a := randomValuedCSR(rng, r, k, 0.3)
+		b := randomValuedCSR(rng, k, c, 0.3)
+		got := SpGEMM(a, b, 1+rng.Intn(3))
+		if got.Validate() != nil {
+			return false
+		}
+		want := dense.Mul(a.ToDense(), b.ToDense())
+		return dense.MaxRelDiff(got.ToDense(), want, 1) <= 1e-4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,254 @@
+// Package staf implements the Single Tree Adjacency Forest of Nishino
+// et al. (SDM 2014), the closest prior computation-friendly format the
+// paper compares against conceptually in Sec. VII. Each adjacency row
+// is reversed and inserted into a trie, so rows sharing a suffix of
+// their (sorted) column lists share trie nodes; a matrix product
+// traverses the trie once, accumulating partial row sums, which bounds
+// the scalar operations by the number of trie nodes ≤ nnz(A).
+//
+// Unlike CBM, STAF can only exploit *common suffixes*, not arbitrary
+// row similarity — the limitation that motivates the CBM format. The
+// package exists as a third comparator for the benchmarks (CSR vs STAF
+// vs CBM).
+package staf
+
+import (
+	"fmt"
+
+	"repro/internal/blas"
+	"repro/internal/dense"
+	"repro/internal/parallel"
+	"repro/internal/sparse"
+)
+
+// Forest is a binary matrix in STAF form. Node 0 is the synthetic
+// root (no column); every other node carries one column index and a
+// parent strictly smaller than itself (construction order), so slices
+// indexed by node id are already topologically ordered.
+type Forest struct {
+	rows int
+	cols int
+
+	parent []int32 // per node; parent[0] = -1
+	col    []int32 // column added by this node; col[0] unused
+	// rowNode[x] is the trie node whose root-path equals row x's
+	// reversed column list (node 0 for empty rows).
+	rowNode []int32
+
+	// children in CSR-ish layout for traversal
+	childPtr []int32
+	childBuf []int32
+	// rowsAt lists the rows ending at each node (CSR-ish layout).
+	rowsPtr []int32
+	rowsBuf []int32
+	// maxDepth bounds the DFS accumulator stack.
+	maxDepth int
+}
+
+// Build constructs the forest for a binary matrix. Rows are inserted
+// highest-column-first, so rows sharing their trailing columns share a
+// path.
+func Build(a *sparse.CSR) (*Forest, error) {
+	if !a.IsBinary() {
+		return nil, fmt.Errorf("staf: input matrix must be binary")
+	}
+	f := &Forest{
+		rows:    a.Rows,
+		cols:    a.Cols,
+		parent:  []int32{-1},
+		col:     []int32{-1},
+		rowNode: make([]int32, a.Rows),
+	}
+	// Transition map keyed by (parent node, column).
+	type key struct {
+		node int32
+		col  int32
+	}
+	next := make(map[key]int32, a.NNZ())
+	for x := 0; x < a.Rows; x++ {
+		cols := a.RowCols(x)
+		cur := int32(0)
+		depth := 0
+		for i := len(cols) - 1; i >= 0; i-- {
+			c := cols[i]
+			k := key{cur, c}
+			child, ok := next[k]
+			if !ok {
+				child = int32(len(f.parent))
+				f.parent = append(f.parent, cur)
+				f.col = append(f.col, c)
+				next[k] = child
+			}
+			cur = child
+			depth++
+		}
+		f.rowNode[x] = cur
+		if depth > f.maxDepth {
+			f.maxDepth = depth
+		}
+	}
+	f.index()
+	return f, nil
+}
+
+// index builds the children lists and the node→rows mapping.
+func (f *Forest) index() {
+	n := len(f.parent)
+	f.childPtr = make([]int32, n+1)
+	for id := 1; id < n; id++ {
+		f.childPtr[f.parent[id]+1]++
+	}
+	for i := 0; i < n; i++ {
+		f.childPtr[i+1] += f.childPtr[i]
+	}
+	f.childBuf = make([]int32, n-1)
+	nextC := make([]int32, n)
+	copy(nextC, f.childPtr[:n])
+	for id := 1; id < n; id++ {
+		p := f.parent[id]
+		f.childBuf[nextC[p]] = int32(id)
+		nextC[p]++
+	}
+
+	f.rowsPtr = make([]int32, n+1)
+	for _, nd := range f.rowNode {
+		f.rowsPtr[nd+1]++
+	}
+	for i := 0; i < n; i++ {
+		f.rowsPtr[i+1] += f.rowsPtr[i]
+	}
+	f.rowsBuf = make([]int32, len(f.rowNode))
+	nextR := make([]int32, n)
+	copy(nextR, f.rowsPtr[:n])
+	for x, nd := range f.rowNode {
+		f.rowsBuf[nextR[nd]] = int32(x)
+		nextR[nd]++
+	}
+}
+
+// NumNodes returns the trie size excluding the root — the scalar
+// operations one matrix-vector product costs (≤ nnz by construction).
+func (f *Forest) NumNodes() int { return len(f.parent) - 1 }
+
+// Rows returns the matrix row count.
+func (f *Forest) Rows() int { return f.rows }
+
+// Cols returns the matrix column count.
+func (f *Forest) Cols() int { return f.cols }
+
+// MaxDepth returns the longest root path (= longest row).
+func (f *Forest) MaxDepth() int { return f.maxDepth }
+
+// FootprintBytes accounts the forest storage: parent + column per trie
+// node and one node pointer per row.
+func (f *Forest) FootprintBytes() int64 {
+	return int64(8*(len(f.parent)-1)) + int64(4*len(f.rowNode))
+}
+
+func (f *Forest) children(id int32) []int32 {
+	return f.childBuf[f.childPtr[id]:f.childPtr[id+1]]
+}
+
+func (f *Forest) rowsAt(id int32) []int32 {
+	return f.rowsBuf[f.rowsPtr[id]:f.rowsPtr[id+1]]
+}
+
+// Mul computes C = A·B sequentially.
+func (f *Forest) Mul(b *dense.Matrix) *dense.Matrix {
+	c := dense.New(f.rows, b.Cols)
+	f.MulTo(c, b, 1)
+	return c
+}
+
+// MulParallel computes C = A·B with the given thread count.
+func (f *Forest) MulParallel(b *dense.Matrix, threads int) *dense.Matrix {
+	c := dense.New(f.rows, b.Cols)
+	f.MulTo(c, b, threads)
+	return c
+}
+
+// MulTo computes c = A·b. The trie is traversed depth-first with a
+// stack of accumulated partial rows (one per depth level); entering a
+// node adds B[col,:] to the parent's partial row, and rows ending at
+// the node copy the accumulator out. Top-level subtrees are
+// independent, so the parallel variant deals them to workers
+// dynamically (mirroring the CBM update-stage scheme).
+func (f *Forest) MulTo(c, b *dense.Matrix, threads int) {
+	if b.Rows != f.cols {
+		panic(fmt.Sprintf("staf: Mul shape mismatch %d×%d · %d×%d", f.rows, f.cols, b.Rows, b.Cols))
+	}
+	if c.Rows != f.rows || c.Cols != b.Cols {
+		panic("staf: Mul output shape mismatch")
+	}
+	// Empty rows (ending at the root) are zero.
+	for _, x := range f.rowsAt(0) {
+		blas.Fill(c.Row(int(x)), 0)
+	}
+	top := f.children(0)
+	work := func(i int) {
+		f.dfs(top[i], c, b)
+	}
+	if threads == 1 || len(top) <= 1 {
+		for i := range top {
+			work(i)
+		}
+		return
+	}
+	parallel.ForDynamic(len(top), threads, 1, work)
+}
+
+// dfs walks one top-level subtree with an explicit stack.
+func (f *Forest) dfs(start int32, c, b *dense.Matrix) {
+	cols := c.Cols
+	// Accumulator stack: level d holds the partial sum of the path
+	// prefix of length d+1.
+	acc := make([]float32, (f.maxDepth+1)*cols)
+	type frame struct {
+		node  int32
+		depth int32
+		kid   int32 // next child index to visit
+	}
+	stack := make([]frame, 1, f.maxDepth+1)
+	stack[0] = frame{node: start}
+
+	enter := func(fr *frame) {
+		level := acc[int(fr.depth)*cols : (int(fr.depth)+1)*cols]
+		if fr.depth == 0 {
+			copy(level, b.Row(int(f.col[fr.node])))
+		} else {
+			prev := acc[(int(fr.depth)-1)*cols : int(fr.depth)*cols]
+			copy(level, prev)
+			blas.Add(b.Row(int(f.col[fr.node])), level)
+		}
+		for _, x := range f.rowsAt(fr.node) {
+			copy(c.Row(int(x)), level)
+		}
+	}
+	enter(&stack[0])
+	for len(stack) > 0 {
+		fr := &stack[len(stack)-1]
+		kids := f.children(fr.node)
+		if int(fr.kid) >= len(kids) {
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		child := kids[fr.kid]
+		fr.kid++
+		nf := frame{node: child, depth: fr.depth + 1}
+		stack = append(stack, nf)
+		enter(&stack[len(stack)-1])
+	}
+}
+
+// MulVec computes y = A·v via the same traversal.
+func (f *Forest) MulVec(v []float32) []float32 {
+	if len(v) != f.cols {
+		panic("staf: MulVec shape mismatch")
+	}
+	bv := dense.New(f.cols, 1)
+	copy(bv.Data, v)
+	out := f.Mul(bv)
+	y := make([]float32, f.rows)
+	copy(y, out.Data)
+	return y
+}

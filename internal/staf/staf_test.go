@@ -1,0 +1,230 @@
+package staf
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dense"
+	"repro/internal/kernels"
+	"repro/internal/sparse"
+	"repro/internal/synth"
+	"repro/internal/xrand"
+)
+
+func randomBinary(rng *xrand.RNG, rows, cols int, density float64) *sparse.CSR {
+	coo := sparse.NewCOO(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if rng.Float64() < density {
+				coo.Append(i, j, 1)
+			}
+		}
+	}
+	m := coo.ToCSR()
+	for i := range m.Vals {
+		m.Vals[i] = 1
+	}
+	return m
+}
+
+func randomDense(rng *xrand.RNG, rows, cols int) *dense.Matrix {
+	m := dense.New(rows, cols)
+	rng.FillUniform(m.Data)
+	return m
+}
+
+func TestBuildNodeBound(t *testing.T) {
+	rng := xrand.New(1)
+	a := randomBinary(rng, 40, 40, 0.2)
+	f, err := Build(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumNodes() > a.NNZ() {
+		t.Fatalf("trie nodes %d > nnz %d", f.NumNodes(), a.NNZ())
+	}
+}
+
+func TestIdenticalRowsShareFullPath(t *testing.T) {
+	adj := make([][]int32, 6)
+	for i := range adj {
+		adj[i] = []int32{1, 3, 5}
+	}
+	a := sparse.FromAdjacency(6, 6, adj)
+	f, err := Build(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumNodes() != 3 {
+		t.Fatalf("identical rows: %d nodes, want 3", f.NumNodes())
+	}
+	if f.MaxDepth() != 3 {
+		t.Fatalf("max depth = %d", f.MaxDepth())
+	}
+}
+
+func TestSharedSuffixCompresses(t *testing.T) {
+	// Rows {0,5,6,7}, {1,5,6,7}, {2,5,6,7}: the reversed lists share
+	// the suffix (7,6,5), so the trie has 3 shared + 3 private nodes.
+	adj := [][]int32{
+		{0, 5, 6, 7},
+		{1, 5, 6, 7},
+		{2, 5, 6, 7},
+	}
+	a := sparse.FromAdjacency(3, 8, adj)
+	f, err := Build(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumNodes() != 6 {
+		t.Fatalf("nodes = %d, want 6 (3 shared + 3 private)", f.NumNodes())
+	}
+}
+
+func TestMulMatchesCSR(t *testing.T) {
+	rng := xrand.New(2)
+	a := randomBinary(rng, 50, 30, 0.15)
+	f, err := Build(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := randomDense(rng, 30, 9)
+	got := f.Mul(b)
+	want := kernels.SpMM(a, b)
+	if d := dense.MaxRelDiff(got, want, 1); d > 1e-5 {
+		t.Fatalf("STAF product rel diff %v", d)
+	}
+}
+
+func TestMulParallelMatchesSequential(t *testing.T) {
+	a := synth.SBMGroups(400, 20, 0.8, 0.5, 3)
+	f, err := Build(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(4)
+	b := randomDense(rng, a.Rows, 16)
+	seq := f.Mul(b)
+	for _, threads := range []int{2, 4, 8} {
+		par := f.MulParallel(b, threads)
+		if !seq.Equal(par) {
+			t.Fatalf("threads=%d: parallel STAF differs", threads)
+		}
+	}
+}
+
+func TestEmptyRowsAndEmptyMatrix(t *testing.T) {
+	adj := [][]int32{{}, {0, 1}, {}}
+	a := sparse.FromAdjacency(3, 3, adj)
+	f, err := Build(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := dense.FromRows([][]float32{{1, 2}, {3, 4}, {5, 6}})
+	got := f.Mul(b)
+	if got.At(0, 0) != 0 || got.At(2, 1) != 0 {
+		t.Fatal("empty rows not zeroed")
+	}
+	if got.At(1, 0) != 4 || got.At(1, 1) != 6 {
+		t.Fatalf("row 1 = %v %v", got.At(1, 0), got.At(1, 1))
+	}
+
+	empty, err := Build(sparse.NewCSR(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.NumNodes() != 0 {
+		t.Fatal("empty matrix has trie nodes")
+	}
+}
+
+func TestBuildRejectsNonBinary(t *testing.T) {
+	coo := sparse.NewCOO(2, 2)
+	coo.Append(0, 1, 2)
+	if _, err := Build(coo.ToCSR()); err == nil {
+		t.Fatal("non-binary accepted")
+	}
+}
+
+func TestMulShapePanics(t *testing.T) {
+	a := sparse.FromAdjacency(2, 2, [][]int32{{0}, {1}})
+	f, err := Build(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f.Mul(dense.New(5, 2))
+}
+
+func TestMulVec(t *testing.T) {
+	a := sparse.FromAdjacency(3, 3, [][]int32{{0, 2}, {1}, {0, 1, 2}})
+	f, err := Build(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := f.MulVec([]float32{1, 10, 100})
+	want := []float32{101, 10, 111}
+	for i := range y {
+		if y[i] != want[i] {
+			t.Fatalf("MulVec[%d] = %v, want %v", i, y[i], want[i])
+		}
+	}
+}
+
+// Property: STAF product equals CSR product for random binary
+// matrices and operands.
+func TestMulEquivalenceProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		rows := 1 + rng.Intn(40)
+		cols := 1 + rng.Intn(40)
+		a := randomBinary(rng, rows, cols, 0.05+0.3*rng.Float64())
+		forest, err := Build(a)
+		if err != nil {
+			return false
+		}
+		b := randomDense(rng, cols, 1+rng.Intn(12))
+		threads := 1 + rng.Intn(4)
+		got := forest.MulParallel(b, threads)
+		want := kernels.SpMM(a, b)
+		return dense.MaxRelDiff(got, want, 1) <= 1e-5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: node count never exceeds nnz, and equals nnz when no two
+// rows share a suffix (single row case).
+func TestNodeCountProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := 1 + rng.Intn(30)
+		a := randomBinary(rng, n, 30, 0.2)
+		forest, err := Build(a)
+		if err != nil {
+			return false
+		}
+		return forest.NumNodes() <= a.NNZ()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommunityGraphSharing(t *testing.T) {
+	// High-similarity SBM rows share suffixes: trie should be clearly
+	// smaller than nnz.
+	a := synth.SBMGroups(600, 30, 0.95, 0.0, 9)
+	f, err := Build(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(f.NumNodes()) > 0.9*float64(a.NNZ()) {
+		t.Fatalf("no sharing on a community graph: %d nodes vs %d nnz", f.NumNodes(), a.NNZ())
+	}
+}

@@ -1,0 +1,221 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sparse"
+)
+
+// checkGraphInvariants verifies the contract every generator promises:
+// symmetric, binary, loop-free, valid CSR.
+func checkGraphInvariants(t *testing.T, name string, a *sparse.CSR) {
+	t.Helper()
+	if err := a.Validate(); err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	if !a.IsBinary() {
+		t.Fatalf("%s: not binary", name)
+	}
+	if !a.IsSymmetric() {
+		t.Fatalf("%s: not symmetric", name)
+	}
+	for i := 0; i < a.Rows; i++ {
+		for _, c := range a.RowCols(i) {
+			if int(c) == i {
+				t.Fatalf("%s: self-loop at %d", name, i)
+			}
+		}
+	}
+}
+
+func avgDegree(a *sparse.CSR) float64 {
+	if a.Rows == 0 {
+		return 0
+	}
+	return float64(a.NNZ()) / float64(a.Rows)
+}
+
+func TestErdosRenyi(t *testing.T) {
+	a := ErdosRenyi(1000, 8, 1)
+	checkGraphInvariants(t, "ER", a)
+	if d := avgDegree(a); math.Abs(d-8) > 1 {
+		t.Fatalf("ER avg degree = %v, want ≈ 8", d)
+	}
+}
+
+func TestWattsStrogatz(t *testing.T) {
+	a := WattsStrogatz(500, 6, 0.2, 2)
+	checkGraphInvariants(t, "WS", a)
+	if d := avgDegree(a); d < 4.5 || d > 6.5 {
+		t.Fatalf("WS avg degree = %v, want ≈ 6", d)
+	}
+}
+
+func TestWattsStrogatzRejectsOddK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on odd k")
+		}
+	}()
+	WattsStrogatz(100, 3, 0.1, 1)
+}
+
+func TestHolmeKim(t *testing.T) {
+	a := HolmeKim(2000, 2, 0.5, 3)
+	checkGraphInvariants(t, "HK", a)
+	if d := avgDegree(a); math.Abs(d-4) > 0.7 {
+		t.Fatalf("HK avg degree = %v, want ≈ 4", d)
+	}
+	// preferential attachment must create a skewed degree distribution
+	maxDeg := 0
+	for i := 0; i < a.Rows; i++ {
+		if n := a.RowNNZ(i); n > maxDeg {
+			maxDeg = n
+		}
+	}
+	if maxDeg < 20 {
+		t.Fatalf("HK max degree = %d, expected a hub ≫ average", maxDeg)
+	}
+}
+
+func TestSBMGroups(t *testing.T) {
+	a := SBMGroups(900, 30, 0.8, 1.0, 4)
+	checkGraphInvariants(t, "SBM", a)
+	want := 0.8*29 + 1.0
+	if d := avgDegree(a); math.Abs(d-want) > 2.5 {
+		t.Fatalf("SBM avg degree = %v, want ≈ %v", d, want)
+	}
+}
+
+func TestSBMGroupsRaggedLastGroup(t *testing.T) {
+	// n not divisible by groupSize must still work.
+	a := SBMGroups(95, 30, 0.9, 0, 5)
+	checkGraphInvariants(t, "SBM-ragged", a)
+}
+
+func TestHubTemplate(t *testing.T) {
+	a := HubTemplate(1300, 300, 350, 0.75, 0.01, 1.0, 6)
+	checkGraphInvariants(t, "HubTemplate", a)
+	if d := avgDegree(a); d < 150 || d > 400 {
+		t.Fatalf("HubTemplate avg degree = %v, out of plausible range", d)
+	}
+}
+
+func TestCopying(t *testing.T) {
+	a := Copying(1500, 3, 0.4, 7)
+	checkGraphInvariants(t, "Copying", a)
+	if d := avgDegree(a); d < 5 || d > 25 {
+		t.Fatalf("Copying avg degree = %v", d)
+	}
+}
+
+func TestDeterminismAcrossGenerators(t *testing.T) {
+	gens := map[string]func(seed uint64) *sparse.CSR{
+		"ER":   func(s uint64) *sparse.CSR { return ErdosRenyi(300, 6, s) },
+		"WS":   func(s uint64) *sparse.CSR { return WattsStrogatz(300, 4, 0.3, s) },
+		"HK":   func(s uint64) *sparse.CSR { return HolmeKim(300, 2, 0.4, s) },
+		"SBM":  func(s uint64) *sparse.CSR { return SBMGroups(300, 15, 0.7, 0.5, s) },
+		"HT":   func(s uint64) *sparse.CSR { return HubTemplate(300, 60, 80, 0.7, 0.01, 0.5, s) },
+		"Copy": func(s uint64) *sparse.CSR { return Copying(300, 2, 0.3, s) },
+	}
+	for name, gen := range gens {
+		a := gen(42)
+		b := gen(42)
+		if !a.ToDense().Equal(b.ToDense()) {
+			t.Fatalf("%s: same seed produced different graphs", name)
+		}
+		c := gen(43)
+		if a.NNZ() == c.NNZ() && a.ToDense().Equal(c.ToDense()) {
+			t.Fatalf("%s: different seeds produced identical graphs", name)
+		}
+	}
+}
+
+func TestZeroAndTinyN(t *testing.T) {
+	for name, gen := range map[string]func() *sparse.CSR{
+		"ER0":   func() *sparse.CSR { return ErdosRenyi(0, 4, 1) },
+		"HK1":   func() *sparse.CSR { return HolmeKim(1, 2, 0, 1) },
+		"SBM1":  func() *sparse.CSR { return SBMGroups(1, 5, 0.5, 0, 1) },
+		"Copy1": func() *sparse.CSR { return Copying(1, 2, 0.3, 1) },
+	} {
+		a := gen()
+		if a.Rows > 1 || a.NNZ() != 0 {
+			t.Fatalf("%s: unexpected graph %d×%d nnz=%d", name, a.Rows, a.Cols, a.NNZ())
+		}
+	}
+}
+
+func TestEdgeSetDedupes(t *testing.T) {
+	es := newEdgeSet(5)
+	if !es.add(1, 2) {
+		t.Fatal("first add failed")
+	}
+	if es.add(2, 1) {
+		t.Fatal("reversed duplicate accepted")
+	}
+	if es.add(3, 3) {
+		t.Fatal("self loop accepted")
+	}
+	if es.add(-1, 2) || es.add(1, 9) {
+		t.Fatal("out-of-range accepted")
+	}
+	if es.len() != 1 {
+		t.Fatalf("len = %d", es.len())
+	}
+}
+
+func TestSBMMixture(t *testing.T) {
+	a := SBMMixture(1000, []SBMComponent{
+		{Weight: 0.6, GroupSize: 20, InProb: 0.9},
+		{Weight: 0.4, GroupSize: 50, InProb: 0.5},
+	}, 0.5, 9)
+	checkGraphInvariants(t, "mixture", a)
+	// first component's nodes should be denser-per-group than noise alone
+	if a.NNZ() == 0 {
+		t.Fatal("empty mixture")
+	}
+	// expected degree ≈ 0.6·(0.9·19) + 0.4·(0.5·49) + 0.5 ≈ 20.5
+	deg := avgDegree(a)
+	if deg < 14 || deg > 27 {
+		t.Fatalf("mixture avg degree = %v", deg)
+	}
+	// deterministic
+	b := SBMMixture(1000, []SBMComponent{
+		{Weight: 0.6, GroupSize: 20, InProb: 0.9},
+		{Weight: 0.4, GroupSize: 50, InProb: 0.5},
+	}, 0.5, 9)
+	if !a.ToDense().Equal(b.ToDense()) {
+		t.Fatal("mixture not deterministic")
+	}
+}
+
+func TestSBMMixtureWeightsNormalized(t *testing.T) {
+	// weights 2:2 behave like 0.5:0.5
+	a := SBMMixture(400, []SBMComponent{
+		{Weight: 2, GroupSize: 10, InProb: 0.8},
+		{Weight: 2, GroupSize: 10, InProb: 0.8},
+	}, 0, 3)
+	checkGraphInvariants(t, "mixture-norm", a)
+}
+
+func TestSBMMixtureRejectsBadInput(t *testing.T) {
+	for name, f := range map[string]func(){
+		"no components": func() { SBMMixture(10, nil, 0, 1) },
+		"bad weight":    func() { SBMMixture(10, []SBMComponent{{Weight: 0, GroupSize: 5, InProb: 0.5}}, 0, 1) },
+		"bad group":     func() { SBMMixture(10, []SBMComponent{{Weight: 1, GroupSize: 1, InProb: 0.5}}, 0, 1) },
+		"bad prob":      func() { SBMMixture(10, []SBMComponent{{Weight: 1, GroupSize: 5, InProb: 1.5}}, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+	if a := SBMMixture(0, []SBMComponent{{Weight: 1, GroupSize: 5, InProb: 0.5}}, 0, 1); a.Rows != 0 {
+		t.Fatal("n=0 should return empty graph")
+	}
+}

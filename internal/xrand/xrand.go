@@ -1,0 +1,97 @@
+// Package xrand provides a tiny, fast, seedable PRNG (SplitMix64) used
+// by the synthetic graph generators and the benchmark harness. A local
+// generator keeps every experiment deterministic for a given seed and
+// avoids the global lock in math/rand.
+package xrand
+
+// RNG is a SplitMix64 pseudo-random number generator. The zero value
+// is a valid generator seeded with 0.
+type RNG struct {
+	state uint64
+}
+
+// New returns an RNG seeded with seed.
+func New(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with n <= 0")
+	}
+	// Lemire's nearly-divisionless bounded generation is overkill here;
+	// modulo bias is negligible for n ≪ 2^64 and this is not crypto.
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Float32 returns a uniform float32 in [0, 1).
+func (r *RNG) Float32() float32 {
+	return float32(r.Uint64()>>40) / (1 << 24)
+}
+
+// Norm returns an approximately standard-normal float64 via the sum of
+// twelve uniforms (Irwin–Hall). Accurate enough for weight
+// initialization; avoids math.Log/Sqrt in hot generator loops.
+func (r *RNG) Norm() float64 {
+	s := -6.0
+	for i := 0; i < 12; i++ {
+		s += r.Float64()
+	}
+	return s
+}
+
+// Perm returns a random permutation of [0, n) (Fisher–Yates).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Split returns a new RNG derived from this one's stream, so parallel
+// components can draw independent sequences from one master seed.
+func (r *RNG) Split() *RNG { return New(r.Uint64()) }
+
+// FillUniform fills dst with uniform float32 values in [0, 1) — the
+// distribution the paper uses for the random operand matrices in its
+// correctness and performance experiments.
+func (r *RNG) FillUniform(dst []float32) {
+	for i := range dst {
+		dst[i] = r.Float32()
+	}
+}
+
+// Geometric returns a sample from a geometric distribution with success
+// probability p (support {0,1,2,...}). Used by generators to draw
+// heavy-tailed community sizes.
+func (r *RNG) Geometric(p float64) int {
+	if p <= 0 || p >= 1 {
+		panic("xrand: Geometric needs 0 < p < 1")
+	}
+	n := 0
+	for r.Float64() >= p {
+		n++
+		if n > 1<<20 { // safety net against pathological p rounding
+			break
+		}
+	}
+	return n
+}

@@ -1,0 +1,144 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical values", same)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(13)
+		if v < 0 || v >= 13 {
+			t.Fatalf("Intn(13) = %d out of range", v)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(9)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean = %v, want ≈ 0.5", mean)
+	}
+}
+
+func TestFloat32Range(t *testing.T) {
+	r := New(10)
+	for i := 0; i < 10000; i++ {
+		v := r.Float32()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float32 = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	r := New(11)
+	const n = 200000
+	var sum, sq float64
+	for i := 0; i < n; i++ {
+		v := r.Norm()
+		sum += v
+		sq += v * v
+	}
+	mean := sum / n
+	variance := sq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("Norm mean = %v, want ≈ 0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("Norm variance = %v, want ≈ 1", variance)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(12)
+	for _, n := range []int{0, 1, 2, 17} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) invalid: %v", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := New(13)
+	p := 0.25
+	const n = 100000
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += r.Geometric(p)
+	}
+	mean := float64(sum) / n
+	want := (1 - p) / p // mean of geometric on {0,1,...}
+	if math.Abs(mean-want) > 0.1 {
+		t.Fatalf("Geometric mean = %v, want ≈ %v", mean, want)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := New(99)
+	a := r.Split()
+	b := r.Split()
+	if a.Uint64() == b.Uint64() {
+		t.Fatal("split streams start identically")
+	}
+}
+
+func TestFillUniform(t *testing.T) {
+	r := New(14)
+	v := make([]float32, 1000)
+	r.FillUniform(v)
+	for i, x := range v {
+		if x < 0 || x >= 1 {
+			t.Fatalf("FillUniform[%d] = %v", i, x)
+		}
+	}
+}
