@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# CI gate: static checks, the full test suite, the race detector over
+# the concurrency-heavy packages (including the oracle stress harness),
+# and a differential-verification smoke sweep. Every PR is expected to
+# pass `./ci.sh` locally before landing.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test ./..."
+go test ./...
+
+echo "==> go test -race (concurrency-heavy packages)"
+go test -race ./internal/cbm/... ./internal/parallel/... ./internal/kernels/... ./internal/oracle/...
+
+echo "==> cmd/verify smoke sweep"
+go run ./cmd/verify -n 64 -sweep quick
+
+echo "ci: OK"

@@ -47,7 +47,7 @@ func (m *Matrix) MulTo(c, b *dense.Matrix, threads int) {
 		panic(fmt.Sprintf("cbm: Mul shape mismatch: %d×%d · %d×%d", m.n, m.n, b.Rows, b.Cols))
 	}
 	if c.Rows != m.n || c.Cols != b.Cols {
-		panic("cbm: Mul output shape mismatch")
+		panic(fmt.Sprintf("cbm: Mul output shape mismatch: got %d×%d, want %d×%d", c.Rows, c.Cols, m.n, b.Cols))
 	}
 	kernels.SpMMTo(c, m.delta, b, threads)
 	m.update(c, threads)
@@ -149,8 +149,11 @@ func (m *Matrix) MulToStrategy(c, b *dense.Matrix, threads int, strat UpdateStra
 		m.MulTo(c, b, threads)
 		return
 	}
-	if b.Rows != m.n || c.Rows != m.n || c.Cols != b.Cols {
-		panic("cbm: Mul shape mismatch")
+	if b.Rows != m.n {
+		panic(fmt.Sprintf("cbm: Mul shape mismatch: %d×%d · %d×%d", m.n, m.n, b.Rows, b.Cols))
+	}
+	if c.Rows != m.n || c.Cols != b.Cols {
+		panic(fmt.Sprintf("cbm: Mul output shape mismatch: got %d×%d, want %d×%d", c.Rows, c.Cols, m.n, b.Cols))
 	}
 	kernels.SpMMTo(c, m.delta, b, threads)
 	if colBlock <= 0 {

@@ -223,6 +223,72 @@ func TestColumnBlockStrategyMatchesBranch(t *testing.T) {
 	}
 }
 
+// StrategyBranchColumn must reproduce StrategyBranch exactly for every
+// kind: both perform the same per-element float operations in the same
+// order, so the results are bitwise equal regardless of how the
+// (branch, column-block) tasks are scheduled.
+func TestStrategyEquivalenceAllKinds(t *testing.T) {
+	rng := xrand.New(73)
+	a := synth.SBMGroups(240, 24, 0.85, 0.4, 29)
+	base, _, err := Compress(a, Options{Alpha: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := randomDiag(rng, a.Rows)
+	b := randomDense(rng, a.Rows, 33)
+	for name, m := range map[string]*Matrix{
+		"A":   base,
+		"AD":  base.WithColumnScale(d),
+		"DAD": base.WithSymmetricScale(d),
+	} {
+		want := dense.New(a.Rows, b.Cols)
+		m.MulToStrategy(want, b, 1, StrategyBranch, 0)
+		for _, threads := range []int{1, 2, 8} {
+			for _, blk := range []int{1, 7, 64, b.Cols + 1} {
+				got := dense.New(a.Rows, b.Cols)
+				m.MulToStrategy(got, b, threads, StrategyBranchColumn, blk)
+				if !got.Equal(want) {
+					t.Fatalf("%s threads=%d colBlock=%d: not bitwise equal to StrategyBranch",
+						name, threads, blk)
+				}
+			}
+		}
+	}
+}
+
+// The strategy entry point must report the offending dimensions in its
+// shape panics, in the same format as MulTo.
+func TestMulToStrategyShapePanicMessage(t *testing.T) {
+	a := paperFig1Matrix()
+	m, _, err := Compress(a, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		c, b *dense.Matrix
+		want string
+	}{
+		{"operand rows", dense.New(6, 2), dense.New(3, 2), "cbm: Mul shape mismatch: 6×6 · 3×2"},
+		{"output shape", dense.New(2, 2), dense.New(6, 3), "cbm: Mul output shape mismatch: got 2×2, want 6×3"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatal("expected shape panic")
+				}
+				msg, ok := r.(string)
+				if !ok || msg != c.want {
+					t.Fatalf("panic = %v, want %q", r, c.want)
+				}
+			}()
+			m.MulToStrategy(c.c, c.b, 1, StrategyBranchColumn, 0)
+		})
+	}
+}
+
 // Property: CBM product equals CSR product across random graphs, α
 // values, kinds, and thread counts — the paper's correctness criterion
 // (1e-5 relative tolerance).

@@ -1,0 +1,165 @@
+// Package oracle is the repository's differential-verification engine:
+// independent reference implementations of the products CBM claims to
+// reproduce (A·B, AD·B, DAD·B, M·v), tolerance machinery that accounts
+// for float32 reassociation, adversarial graph generators, metamorphic
+// property checks, and a concurrency stress harness. Every kernel or
+// scaling PR is expected to pass `cmd/verify` (which drives this
+// package) before it lands, in the spirit of the differential testing
+// used by the sparse-kernel autotuning literature.
+package oracle
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dense"
+)
+
+// Tolerance bounds the allowed disagreement between a kernel under test
+// and a reference oracle. Two elements agree when ANY enabled criterion
+// accepts them: exact equality, |got−want| ≤ Abs, relative error
+// |got−want| / max(|got|,|want|) ≤ Rel, or float32 ULP distance ≤ ULP
+// (0 disables the ULP criterion). The multi-criteria design mirrors how
+// float32 reassociation errors behave: tiny results need the absolute
+// floor, large results the relative bound, and near-ties the ULP bound.
+type Tolerance struct {
+	Abs float64
+	Rel float64
+	ULP int64
+}
+
+// Default returns the paper's correctness tolerance (1e-5 relative)
+// with an absolute floor for near-zero entries and a generous ULP
+// escape hatch for reassociated sums.
+func Default() Tolerance {
+	return Tolerance{Abs: 1e-6, Rel: 1e-5, ULP: 128}
+}
+
+// Loose returns the tolerance used for chains that divide by diagonal
+// entries (the DAD update stage, Eq. 6) or combine several rounded
+// products (metamorphic linearity), where error accumulates beyond the
+// single-product bound.
+func Loose() Tolerance {
+	return Tolerance{Abs: 1e-5, Rel: 1e-4, ULP: 1024}
+}
+
+// Contains reports whether got and want agree under the tolerance.
+func (t Tolerance) Contains(got, want float32) bool {
+	if got == want {
+		return true
+	}
+	g, w := float64(got), float64(want)
+	if math.IsNaN(g) || math.IsNaN(w) {
+		return false
+	}
+	absErr := math.Abs(g - w)
+	if absErr <= t.Abs {
+		return true
+	}
+	if den := math.Max(math.Abs(g), math.Abs(w)); den > 0 && absErr/den <= t.Rel {
+		return true
+	}
+	return t.ULP > 0 && ULPDiff32(got, want) <= t.ULP
+}
+
+// ULPDiff32 returns the number of representable float32 values between
+// a and b (0 when equal; MaxInt64 when either is NaN). Signed zeros
+// compare as adjacent to the smallest subnormals, so the distance is
+// well defined across the sign boundary.
+func ULPDiff32(a, b float32) int64 {
+	if a != a || b != b {
+		return math.MaxInt64
+	}
+	d := orderedBits32(a) - orderedBits32(b)
+	if d < 0 {
+		d = -d
+	}
+	return d
+}
+
+// orderedBits32 maps a float32 onto a monotone signed integer line:
+// adjacent representable floats map to adjacent integers.
+func orderedBits32(f float32) int64 {
+	u := math.Float32bits(f)
+	if u&0x80000000 != 0 {
+		return -int64(u & 0x7fffffff)
+	}
+	return int64(u)
+}
+
+// Divergence describes the worst element-wise disagreement found by a
+// comparison. Col is −1 for vector comparisons. Divergence implements
+// error so property checks can return it directly.
+type Divergence struct {
+	Row, Col  int
+	Got, Want float32
+	AbsErr    float64
+	RelErr    float64
+	ULP       int64
+}
+
+func (d *Divergence) Error() string {
+	at := fmt.Sprintf("[%d]", d.Row)
+	if d.Col >= 0 {
+		at = fmt.Sprintf("(%d,%d)", d.Row, d.Col)
+	}
+	return fmt.Sprintf("divergence at %s: got %v, want %v (abs %.3g, rel %.3g, ulp %d)",
+		at, d.Got, d.Want, d.AbsErr, d.RelErr, d.ULP)
+}
+
+// divergenceAt builds the report for one disagreeing element pair.
+func divergenceAt(row, col int, got, want float32) *Divergence {
+	g, w := float64(got), float64(want)
+	absErr := math.Abs(g - w)
+	relErr := 0.0
+	if den := math.Max(math.Abs(g), math.Abs(w)); den > 0 {
+		relErr = absErr / den
+	}
+	return &Divergence{
+		Row: row, Col: col, Got: got, Want: want,
+		AbsErr: absErr, RelErr: relErr, ULP: ULPDiff32(got, want),
+	}
+}
+
+// Compare checks got against want element-wise and returns the worst
+// divergence (by relative error), or nil when every element is within
+// tolerance. It panics on shape mismatch — a harness bug, not a kernel
+// divergence.
+func Compare(got, want *dense.Matrix, tol Tolerance) *Divergence {
+	if got.Rows != want.Rows || got.Cols != want.Cols {
+		panic(fmt.Sprintf("oracle: Compare shape mismatch %d×%d vs %d×%d",
+			got.Rows, got.Cols, want.Rows, want.Cols))
+	}
+	var worst *Divergence
+	for i := 0; i < got.Rows; i++ {
+		gr, wr := got.Row(i), want.Row(i)
+		for j := range gr {
+			if tol.Contains(gr[j], wr[j]) {
+				continue
+			}
+			d := divergenceAt(i, j, gr[j], wr[j])
+			if worst == nil || d.RelErr > worst.RelErr {
+				worst = d
+			}
+		}
+	}
+	return worst
+}
+
+// CompareVec is Compare for vectors (Col reported as −1).
+func CompareVec(got, want []float32, tol Tolerance) *Divergence {
+	if len(got) != len(want) {
+		panic(fmt.Sprintf("oracle: CompareVec length mismatch %d vs %d", len(got), len(want)))
+	}
+	var worst *Divergence
+	for i := range got {
+		if tol.Contains(got[i], want[i]) {
+			continue
+		}
+		d := divergenceAt(i, -1, got[i], want[i])
+		if worst == nil || d.RelErr > worst.RelErr {
+			worst = d
+		}
+	}
+	return worst
+}

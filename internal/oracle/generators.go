@@ -1,0 +1,180 @@
+// Adversarial graph generators: square binary matrices built to poke
+// the structural edge cases of the CBM construction and its kernels —
+// empty rows (virtual-root children with zero deltas), duplicate rows
+// (zero-delta tree edges), hubs (one branch dominating the update
+// stage), power-law degree skew (dynamic-scheduling imbalance),
+// disconnected components (forest-shaped trees) and the all-zero
+// matrix. They complement the realistic regimes of internal/synth,
+// which supplies the two baseline generators at the end of the list.
+
+package oracle
+
+import (
+	"fmt"
+
+	"repro/internal/sparse"
+	"repro/internal/synth"
+	"repro/internal/xrand"
+)
+
+// Generator is a named deterministic graph generator: Gen(n, seed)
+// returns a square binary n×n CSR matrix, identical for equal inputs.
+type Generator struct {
+	Name        string
+	Description string
+	Gen         func(n int, seed uint64) *sparse.CSR
+}
+
+// Generators returns the full registry, adversarial shapes first.
+func Generators() []Generator {
+	return []Generator{
+		{"emptyrows", "~30% all-zero rows among sparse random rows", genEmptyRows},
+		{"duprows", "rows drawn from a few templates, many exact duplicates", genDupRows},
+		{"hub", "one dense hub row plus sparse satellites", genHub},
+		{"powerlaw", "zipf-like degree sequence, heavy head", genPowerLaw},
+		{"components", "block-diagonal disconnected communities", genComponents},
+		{"allzero", "the n×n zero matrix", genAllZero},
+		{"sbm", "dense stochastic block model (CBM-friendly regime)", genSBM},
+		{"er", "Erdős–Rényi, avg degree 4 (CBM-hostile regime)", genER},
+	}
+}
+
+// GeneratorNames returns the registry names in order.
+func GeneratorNames() []string {
+	gens := Generators()
+	names := make([]string, len(gens))
+	for i, g := range gens {
+		names[i] = g.Name
+	}
+	return names
+}
+
+// GetGenerator looks a generator up by name.
+func GetGenerator(name string) (Generator, error) {
+	for _, g := range Generators() {
+		if g.Name == name {
+			return g, nil
+		}
+	}
+	return Generator{}, fmt.Errorf("oracle: unknown generator %q (have %v)", name, GeneratorNames())
+}
+
+func genEmptyRows(n int, seed uint64) *sparse.CSR {
+	rng := xrand.New(seed)
+	adj := make([][]int32, n)
+	for i := range adj {
+		if rng.Float64() < 0.3 {
+			continue // empty row
+		}
+		deg := 1 + rng.Intn(4)
+		for k := 0; k < deg; k++ {
+			adj[i] = append(adj[i], int32(rng.Intn(n)))
+		}
+	}
+	return sparse.FromAdjacency(n, n, adj)
+}
+
+func genDupRows(n int, seed uint64) *sparse.CSR {
+	rng := xrand.New(seed)
+	nTemplates := n / 8
+	if nTemplates < 2 {
+		nTemplates = 2
+	}
+	templates := make([][]int32, nTemplates)
+	for t := range templates {
+		deg := 2 + rng.Intn(6)
+		for k := 0; k < deg; k++ {
+			templates[t] = append(templates[t], int32(rng.Intn(n)))
+		}
+	}
+	adj := make([][]int32, n)
+	for i := range adj {
+		src := templates[rng.Intn(nTemplates)]
+		adj[i] = append(adj[i], src...)
+		// Occasionally perturb one entry so near-duplicates appear too.
+		if rng.Float64() < 0.2 {
+			adj[i] = append(adj[i], int32(rng.Intn(n)))
+		}
+	}
+	return sparse.FromAdjacency(n, n, adj)
+}
+
+func genHub(n int, seed uint64) *sparse.CSR {
+	rng := xrand.New(seed)
+	adj := make([][]int32, n)
+	for j := 0; j < n; j++ {
+		adj[0] = append(adj[0], int32(j)) // the hub row is fully dense
+	}
+	for i := 1; i < n; i++ {
+		if rng.Float64() < 0.5 {
+			adj[i] = append(adj[i], 0) // half the satellites point back
+		}
+		deg := 1 + rng.Intn(3)
+		for k := 0; k < deg; k++ {
+			adj[i] = append(adj[i], int32(rng.Intn(n)))
+		}
+	}
+	return sparse.FromAdjacency(n, n, adj)
+}
+
+func genPowerLaw(n int, seed uint64) *sparse.CSR {
+	rng := xrand.New(seed)
+	adj := make([][]int32, n)
+	for i := range adj {
+		// Zipf-like head: row i targets about n/(i+1) columns.
+		deg := n/(2*(i+1)) + 1
+		if deg >= n {
+			deg = n - 1
+		}
+		for k := 0; k < deg; k++ {
+			adj[i] = append(adj[i], int32(rng.Intn(n)))
+		}
+	}
+	return sparse.FromAdjacency(n, n, adj)
+}
+
+func genComponents(n int, seed uint64) *sparse.CSR {
+	rng := xrand.New(seed)
+	comps := 4
+	if n < 2*comps {
+		comps = 1
+	}
+	size := (n + comps - 1) / comps
+	adj := make([][]int32, n)
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		for i := lo; i < hi; i++ {
+			for j := lo; j < hi; j++ {
+				if i != j && rng.Float64() < 0.4 {
+					adj[i] = append(adj[i], int32(j))
+				}
+			}
+		}
+	}
+	return sparse.FromAdjacency(n, n, adj)
+}
+
+func genAllZero(n int, _ uint64) *sparse.CSR {
+	return sparse.NewCSR(n, n)
+}
+
+func genSBM(n int, seed uint64) *sparse.CSR {
+	group := n / 8
+	if group < 2 {
+		group = 2
+	}
+	return synth.SBMGroups(n, group, 0.8, 0.5, seed)
+}
+
+func genER(n int, seed uint64) *sparse.CSR {
+	// Cap the average degree so the target edge count stays achievable
+	// on tiny graphs (ErdosRenyi samples until it reaches the target).
+	avg := 4.0
+	if float64(n-1) < avg {
+		avg = float64(n-1) / 2
+	}
+	return synth.ErdosRenyi(n, avg, seed)
+}

@@ -1,0 +1,129 @@
+// Reference oracles: naive dense and CSR products, computed with
+// float64 accumulation and no shared code with the kernels under test
+// (no blas, no parallel, no kernels). Slow by design — they exist to be
+// obviously correct, not fast.
+
+package oracle
+
+import (
+	"fmt"
+
+	"repro/internal/cbm"
+	"repro/internal/dense"
+	"repro/internal/sparse"
+)
+
+// DenseProduct computes C = S·B by materializing S densely and running
+// the naive triple loop over every (i, k, j), accumulating in float64.
+// It exercises none of the sparsity handling of the kernels under test.
+func DenseProduct(s *sparse.CSR, b *dense.Matrix) *dense.Matrix {
+	if s.Cols != b.Rows {
+		panic(fmt.Sprintf("oracle: DenseProduct shape mismatch %d×%d · %d×%d",
+			s.Rows, s.Cols, b.Rows, b.Cols))
+	}
+	a := make([]float64, s.Rows*s.Cols)
+	for i := 0; i < s.Rows; i++ {
+		cols, vals := s.Row(i)
+		for k, c := range cols {
+			a[i*s.Cols+int(c)] = float64(vals[k])
+		}
+	}
+	out := dense.New(s.Rows, b.Cols)
+	acc := make([]float64, b.Cols)
+	for i := 0; i < s.Rows; i++ {
+		for j := range acc {
+			acc[j] = 0
+		}
+		for k := 0; k < s.Cols; k++ {
+			av := a[i*s.Cols+k]
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j := range brow {
+				acc[j] += av * float64(brow[j])
+			}
+		}
+		crow := out.Row(i)
+		for j := range crow {
+			crow[j] = float32(acc[j])
+		}
+	}
+	return out
+}
+
+// CSRProduct computes C = S·B with plain scalar loops over the CSR
+// structure and float64 accumulation — the role Intel MKL's CSR SpMM
+// plays as the paper's baseline, reimplemented independently of
+// internal/kernels.
+func CSRProduct(s *sparse.CSR, b *dense.Matrix) *dense.Matrix {
+	if s.Cols != b.Rows {
+		panic(fmt.Sprintf("oracle: CSRProduct shape mismatch %d×%d · %d×%d",
+			s.Rows, s.Cols, b.Rows, b.Cols))
+	}
+	out := dense.New(s.Rows, b.Cols)
+	acc := make([]float64, b.Cols)
+	for i := 0; i < s.Rows; i++ {
+		for j := range acc {
+			acc[j] = 0
+		}
+		cols, vals := s.Row(i)
+		for k, c := range cols {
+			v := float64(vals[k])
+			brow := b.Row(int(c))
+			for j := range brow {
+				acc[j] += v * float64(brow[j])
+			}
+		}
+		crow := out.Row(i)
+		for j := range crow {
+			crow[j] = float32(acc[j])
+		}
+	}
+	return out
+}
+
+// CSRMatVec computes y = S·x with float64 accumulation.
+func CSRMatVec(s *sparse.CSR, x []float32) []float32 {
+	if s.Cols != len(x) {
+		panic(fmt.Sprintf("oracle: CSRMatVec shape mismatch %d×%d · %d", s.Rows, s.Cols, len(x)))
+	}
+	y := make([]float32, s.Rows)
+	for i := 0; i < s.Rows; i++ {
+		cols, vals := s.Row(i)
+		var acc float64
+		for k, c := range cols {
+			acc += float64(vals[k]) * float64(x[c])
+		}
+		y[i] = float32(acc)
+	}
+	return y
+}
+
+// Operand returns the explicit CSR matrix a CBM value of the given kind
+// represents: A, A·diag(d), or diag(d)·A·diag(d). The scaling happens
+// in float32, matching how both the CBM construction and the paper's
+// pre-scaled CSR baseline embed the diagonal.
+func Operand(a *sparse.CSR, kind cbm.Kind, d []float32) *sparse.CSR {
+	switch kind {
+	case cbm.KindA:
+		return a.Clone()
+	case cbm.KindAD:
+		return a.ScaleCols(d)
+	case cbm.KindDAD:
+		return a.ScaleCols(d).ScaleRows(d)
+	default:
+		panic(fmt.Sprintf("oracle: unknown kind %v", kind))
+	}
+}
+
+// KindTolerance returns the comparison tolerance appropriate for a
+// kind: plain and column-scaled products stay within the single-product
+// bound, while the DAD update chain divides by diagonal entries (Eq. 6)
+// and needs the looser bound.
+func KindTolerance(kind cbm.Kind) Tolerance {
+	if kind == cbm.KindDAD || kind == cbm.KindAD {
+		return Loose()
+	}
+	return Default()
+}

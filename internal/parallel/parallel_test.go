@@ -104,6 +104,87 @@ func TestReduceEmptyReturnsZero(t *testing.T) {
 	}
 }
 
+// Edge cases of the distribution logic, table-driven: fewer iterations
+// than workers, grains exceeding n, and the threads < 1 default path.
+func TestForDynamicEdgeCases(t *testing.T) {
+	cases := []struct {
+		name              string
+		n, threads, grain int
+	}{
+		{"n smaller than threads", 3, 8, 1},
+		{"grain larger than n", 5, 4, 100},
+		{"threads<1 selects default", 777, 0, 3},
+		{"negative threads selects default", 777, -5, 3},
+		{"single iteration", 1, 16, 7},
+		{"grain<1 normalized to 1", 40, 4, 0},
+		{"everything degenerate", 1, -1, -1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			hits := make([]int32, c.n)
+			ForDynamic(c.n, c.threads, c.grain, func(i int) { atomic.AddInt32(&hits[i], 1) })
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("index %d hit %d times", i, h)
+				}
+			}
+		})
+	}
+}
+
+func TestReduceEdgeCases(t *testing.T) {
+	cases := []struct {
+		name       string
+		n, threads int
+	}{
+		{"n smaller than threads", 3, 16},
+		{"threads<1 selects default", 500, 0},
+		{"negative threads selects default", 500, -2},
+		{"single element", 1, 8},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := Reduce(c.n, c.threads,
+				func() int64 { return 0 },
+				func(acc int64, i int) int64 { return acc + int64(i) },
+				func(a, b int64) int64 { return a + b },
+			)
+			if want := int64(c.n) * int64(c.n-1) / 2; got != want {
+				t.Fatalf("Reduce = %d, want %d", got, want)
+			}
+		})
+	}
+}
+
+// Worker results must merge in block order, so a non-commutative merge
+// (slice concatenation) reproduces the sequential order exactly — and
+// deterministically across repeated runs — for any fixed thread count.
+func TestReduceMergeOrderDeterministic(t *testing.T) {
+	const n = 103
+	want := make([]int, n)
+	for i := range want {
+		want[i] = i
+	}
+	for _, threads := range []int{1, 2, 4, 7, 16, 100} {
+		for rep := 0; rep < 5; rep++ {
+			got := Reduce(n, threads,
+				func() []int { return nil },
+				func(acc []int, i int) []int { return append(acc, i) },
+				func(a, b []int) []int { return append(a, b...) },
+			)
+			if len(got) != n {
+				t.Fatalf("threads=%d rep=%d: %d elements, want %d", threads, rep, len(got), n)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("threads=%d rep=%d: element %d is %d — merge out of block order",
+						threads, rep, i, got[i])
+				}
+			}
+		}
+	}
+}
+
 // Property: parallel sum equals sequential sum for any thread count.
 func TestReduceDeterministicProperty(t *testing.T) {
 	f := func(nRaw uint16, tRaw uint8) bool {

@@ -1,13 +1,21 @@
-package sparse
+package sparse_test
 
 import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"repro/internal/dense"
+	"repro/internal/kernels"
+	"repro/internal/oracle"
+	"repro/internal/sparse"
+	"repro/internal/xrand"
 )
 
 // FuzzReadEdgeList checks the parser never panics and that anything it
-// accepts is a valid binary CSR that survives a write/read round trip.
+// accepts is a valid binary CSR that survives a write/read round trip
+// and — for square inputs — multiplies identically to the independent
+// oracle from internal/oracle.
 func FuzzReadEdgeList(f *testing.F) {
 	f.Add("0 1\n1 2\n")
 	f.Add("# nodes 4 cols 4 edges 1\n0 3\n")
@@ -18,8 +26,22 @@ func FuzzReadEdgeList(f *testing.F) {
 	f.Add("9999999999999999999999 1\n")
 	f.Add("-3 1\n")
 	f.Add("a b\n")
+	// Adversarial shapes from internal/oracle: empty rows, duplicate
+	// rows and a hub row, serialized through the edge-list writer.
+	for _, name := range []string{"emptyrows", "duprows", "hub"} {
+		g, err := oracle.GetGenerator(name)
+		if err != nil {
+			f.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := sparse.WriteEdgeList(&buf, g.Gen(24, 3)); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.String())
+	}
+
 	f.Fuzz(func(t *testing.T, input string) {
-		m, err := ReadEdgeList(strings.NewReader(input))
+		m, err := sparse.ReadEdgeList(strings.NewReader(input))
 		if err != nil {
 			return // rejection is fine; panics are not
 		}
@@ -30,16 +52,26 @@ func FuzzReadEdgeList(f *testing.F) {
 			t.Fatal("accepted non-binary matrix")
 		}
 		var buf bytes.Buffer
-		if err := WriteEdgeList(&buf, m); err != nil {
+		if err := sparse.WriteEdgeList(&buf, m); err != nil {
 			t.Fatalf("write-back failed: %v", err)
 		}
-		back, err := ReadEdgeList(&buf)
+		back, err := sparse.ReadEdgeList(&buf)
 		if err != nil {
 			t.Fatalf("round trip failed: %v", err)
 		}
 		if back.NNZ() != m.NNZ() || back.Rows != m.Rows {
 			t.Fatalf("round trip changed shape: %d/%d vs %d/%d",
 				back.Rows, back.NNZ(), m.Rows, m.NNZ())
+		}
+		// Differential check: the production SpMM must agree with the
+		// float64 CSR oracle on whatever structure the parser accepted.
+		if m.Rows > 0 && m.Rows <= 256 && m.Cols <= 256 {
+			rng := xrand.New(uint64(m.NNZ())*0x9e37 + uint64(m.Rows))
+			b := dense.New(m.Cols, 4)
+			rng.FillUniform(b.Data)
+			if div := oracle.Compare(kernels.SpMM(m, b), oracle.CSRProduct(m, b), oracle.Default()); div != nil {
+				t.Fatalf("SpMM diverges from oracle on accepted matrix: %v", div)
+			}
 		}
 	})
 }
