@@ -6,14 +6,29 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "==> go vet ./..."
-go vet ./...
+# Package patterns shared by every static check, so vet and cbmlint can
+# never drift apart in coverage.
+PKGS="./..."
 
-echo "==> go build ./..."
-go build ./...
+echo "==> gofmt"
+UNFORMATTED=$(gofmt -l .)
+if [ -n "$UNFORMATTED" ]; then
+    echo "gofmt: files need formatting:" >&2
+    echo "$UNFORMATTED" >&2
+    exit 1
+fi
 
-echo "==> go test ./..."
-go test ./...
+echo "==> go vet $PKGS"
+go vet "$PKGS"
+
+echo "==> cbmlint $PKGS"
+go run ./cmd/cbmlint "$PKGS"
+
+echo "==> go build $PKGS"
+go build "$PKGS"
+
+echo "==> go test $PKGS"
+go test "$PKGS"
 
 echo "==> go test -race (concurrency-heavy packages)"
 go test -race ./internal/cbm/... ./internal/parallel/... ./internal/kernels/... ./internal/oracle/...

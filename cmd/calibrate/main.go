@@ -8,6 +8,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 	"time"
 
 	"repro/internal/bench"
@@ -43,12 +44,22 @@ func main() {
 		}
 		r0 := float64(a.FootprintBytes()) / float64(m0.FootprintBytes())
 		r32 := float64(a.FootprintBytes()) / float64(m32.FootprintBytes())
-		fmt.Printf("%-18s n=%7d deg=%6.1f (paper %6.1f) cc=%.2f (paper %.2f) "+
+		outf("%-18s n=%7d deg=%6.1f (paper %6.1f) cc=%.2f (paper %.2f) "+
 			"ratio0=%5.2f (paper %5.2f) ratio32=%5.2f (paper %5.2f) "+
 			"cand=%d kids0=%d build=%v gen=%v\n",
 			d.Name, st.Nodes, st.AverageDegree, d.Paper.AvgDegree,
 			cc, d.Paper.ClusteringCoef,
 			r0, d.Paper.RatioAlpha0, r32, d.Paper.RatioAlpha32,
 			s0.CandidateEdges, s0.VirtualKids, build, gen)
+	}
+}
+
+// outf writes a formatted report line to stdout and exits non-zero if
+// the write fails (e.g. a closed pipe), so calibration scripts cannot
+// mistake truncated output for a clean run.
+func outf(format string, args ...any) {
+	if _, err := fmt.Printf(format, args...); err != nil {
+		_, _ = fmt.Fprintln(os.Stderr, "calibrate: write:", err)
+		os.Exit(1)
 	}
 }

@@ -43,7 +43,9 @@ func main() {
 
 	if *list {
 		for _, name := range bench.Names() {
-			fmt.Println(name)
+			if _, err := fmt.Println(name); err != nil {
+				fatalf("write: %v", err)
+			}
 		}
 		return
 	}
@@ -69,12 +71,13 @@ func main() {
 	}
 
 	var w io.Writer = os.Stdout
+	var outFile *os.File
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
 			fatalf("create %s: %v", *out, err)
 		}
-		defer f.Close()
+		outFile = f
 		w = io.MultiWriter(os.Stdout, f)
 	}
 
@@ -94,7 +97,7 @@ func main() {
 		}
 		experiments.WriteTable1(w, rows)
 		results["table1"] = rows
-		fmt.Fprintln(w)
+		blankLine(w)
 	}
 	if all || selected["table2"] {
 		ran = true
@@ -104,7 +107,7 @@ func main() {
 		}
 		experiments.WriteTable2(w, rows)
 		results["table2"] = rows
-		fmt.Fprintln(w)
+		blankLine(w)
 	}
 	if all || selected["fig2"] {
 		ran = true
@@ -114,7 +117,7 @@ func main() {
 		}
 		experiments.WriteFig2(w, series)
 		results["fig2"] = series
-		fmt.Fprintln(w)
+		blankLine(w)
 	}
 	if all || selected["table3"] {
 		ran = true
@@ -124,7 +127,7 @@ func main() {
 		}
 		experiments.WriteTable3(w, rows)
 		results["table3"] = rows
-		fmt.Fprintln(w)
+		blankLine(w)
 	}
 	if all || selected["table4"] {
 		ran = true
@@ -134,7 +137,7 @@ func main() {
 		}
 		experiments.WriteTable4(w, rows)
 		results["table4"] = rows
-		fmt.Fprintln(w)
+		blankLine(w)
 	}
 	if all || selected["verify"] {
 		ran = true
@@ -144,7 +147,7 @@ func main() {
 		}
 		experiments.WriteVerify(w, rows)
 		results["verify"] = rows
-		fmt.Fprintln(w)
+		blankLine(w)
 	}
 	if all || selected["table5"] {
 		ran = true
@@ -154,7 +157,7 @@ func main() {
 		}
 		experiments.WriteTable5(w, rows)
 		results["table5"] = rows
-		fmt.Fprintln(w)
+		blankLine(w)
 	}
 	if selected["gnnsuite"] { // extension: per-architecture forward-pass comparison
 		ran = true
@@ -164,7 +167,7 @@ func main() {
 		}
 		experiments.WriteGNNSuite(w, rows)
 		results["gnnsuite"] = rows
-		fmt.Fprintln(w)
+		blankLine(w)
 	}
 	if selected["scaling"] { // extension: strong-scaling sweep
 		ran = true
@@ -174,7 +177,7 @@ func main() {
 		}
 		experiments.WriteScaling(w, series)
 		results["scaling"] = series
-		fmt.Fprintln(w)
+		blankLine(w)
 	}
 	if selected["buildscale"] { // extension: Lemma 1 construction-scaling check
 		ran = true
@@ -184,7 +187,7 @@ func main() {
 		}
 		experiments.WriteBuildScale(w, points)
 		results["buildscale"] = points
-		fmt.Fprintln(w)
+		blankLine(w)
 	}
 	if selected["memwall"] { // extension: Sec. VIII memory-wall study on the Reddit analog
 		ran = true
@@ -194,7 +197,7 @@ func main() {
 		}
 		experiments.WriteMemWall(w, rows)
 		results["memwall"] = rows
-		fmt.Fprintln(w)
+		blankLine(w)
 	}
 	if selected["ablation"] { // not part of "all": it is a design study, not a paper table
 		ran = true
@@ -204,7 +207,14 @@ func main() {
 		}
 		experiments.WriteAblation(w, rows)
 		results["ablation"] = rows
-		fmt.Fprintln(w)
+		blankLine(w)
+	}
+	if outFile != nil {
+		// A close failure can drop buffered table rows: report it and
+		// exit non-zero rather than pretend the run completed.
+		if err := outFile.Close(); err != nil {
+			fatalf("close %s: %v", *out, err)
+		}
 	}
 	if *jsonOut != "" {
 		data, err := json.MarshalIndent(results, "", "  ")
@@ -221,6 +231,14 @@ func main() {
 }
 
 func fatalf(format string, args ...interface{}) {
-	fmt.Fprintf(os.Stderr, "cbmbench: "+format+"\n", args...)
+	_, _ = fmt.Fprintf(os.Stderr, "cbmbench: "+format+"\n", args...)
 	os.Exit(1)
+}
+
+// blankLine separates experiment sections. Any write failure aborts the
+// run: a truncated -o report must not look like a completed one.
+func blankLine(w io.Writer) {
+	if _, err := fmt.Fprintln(w); err != nil {
+		fatalf("write: %v", err)
+	}
 }

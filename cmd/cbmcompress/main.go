@@ -44,7 +44,7 @@ func main() {
 		} else {
 			a, err = sparse.ReadEdgeList(f)
 		}
-		f.Close()
+		_ = f.Close() // read-only handle; decode errors are checked below
 		if err != nil {
 			fatal(err)
 		}
@@ -54,7 +54,7 @@ func main() {
 			for i := range a.Vals {
 				a.Vals[i] = 1
 			}
-			fmt.Fprintln(os.Stderr, "cbmcompress: input had values; weights dropped (binary pattern kept)")
+			_, _ = fmt.Fprintln(os.Stderr, "cbmcompress: input had values; weights dropped (binary pattern kept)")
 		}
 		// Edge lists may be directed; CBM needs only binary + square,
 		// both of which ReadEdgeList guarantees for square inputs.
@@ -81,18 +81,18 @@ func main() {
 	}
 
 	ratio := float64(a.FootprintBytes()) / float64(m.FootprintBytes())
-	fmt.Printf("matrix:            %d×%d, nnz %d\n", a.Rows, a.Cols, a.NNZ())
-	fmt.Printf("alpha:             %d\n", *alpha)
-	fmt.Printf("candidate edges:   %d\n", stats.CandidateEdges)
-	fmt.Printf("deltas (nnz A'):   %d  (%.1f%% of nnz)\n",
+	outf("matrix:            %d×%d, nnz %d\n", a.Rows, a.Cols, a.NNZ())
+	outf("alpha:             %d\n", *alpha)
+	outf("candidate edges:   %d\n", stats.CandidateEdges)
+	outf("deltas (nnz A'):   %d  (%.1f%% of nnz)\n",
 		m.NumDeltas(), 100*float64(m.NumDeltas())/float64(maxInt(a.NNZ(), 1)))
-	fmt.Printf("tree edges:        %d real, %d virtual-root children, depth %d\n",
+	outf("tree edges:        %d real, %d virtual-root children, depth %d\n",
 		stats.TreeEdges, stats.VirtualKids, stats.Depth)
-	fmt.Printf("build time:        %v (candidates %v, tree %v, deltas %v)\n",
+	outf("build time:        %v (candidates %v, tree %v, deltas %v)\n",
 		stats.Total(), stats.CandidateTime, stats.TreeTime, stats.DeltaTime)
-	fmt.Printf("S_CSR:             %s MiB\n", bench.MiB(a.FootprintBytes()))
-	fmt.Printf("S_CBM:             %s MiB\n", bench.MiB(m.FootprintBytes()))
-	fmt.Printf("compression ratio: %.2f×\n", ratio)
+	outf("S_CSR:             %s MiB\n", bench.MiB(a.FootprintBytes()))
+	outf("S_CBM:             %s MiB\n", bench.MiB(m.FootprintBytes()))
+	outf("compression ratio: %.2f×\n", ratio)
 
 	if *hist {
 		printHistograms(m)
@@ -108,7 +108,7 @@ func main() {
 		if err := f.Close(); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("tree DOT:          %s\n", *dot)
+		outf("tree DOT:          %s\n", *dot)
 	}
 	if *save != "" {
 		f, err := os.Create(*save)
@@ -121,7 +121,7 @@ func main() {
 		if err := f.Close(); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("saved:             %s\n", *save)
+		outf("saved:             %s\n", *save)
 	}
 }
 
@@ -141,31 +141,40 @@ func printHistograms(m *cbm.Matrix) {
 	for x := 0; x < m.Rows(); x++ {
 		deltaBuckets[bucketOf(m.Delta().RowNNZ(x))]++
 	}
-	fmt.Println("per-row delta histogram (bucket = ⌈log2(deltas+1)⌉):")
+	outf("%s\n", "per-row delta histogram (bucket = ⌈log2(deltas+1)⌉):")
 	for b := 0; b <= 32; b++ {
 		if c, ok := deltaBuckets[b]; ok {
 			lo, hi := 0, 0
 			if b > 0 {
 				lo, hi = 1<<(b-1), (1<<b)-1
 			}
-			fmt.Printf("  %7d..%-7d %d rows\n", lo, hi, c)
+			outf("  %7d..%-7d %d rows\n", lo, hi, c)
 		}
 	}
 	branchBuckets := map[int]int{}
 	for _, sz := range m.BranchSizes() {
 		branchBuckets[bucketOf(sz)]++
 	}
-	fmt.Println("branch-size histogram:")
+	outf("%s\n", "branch-size histogram:")
 	for b := 1; b <= 32; b++ {
 		if c, ok := branchBuckets[b]; ok {
-			fmt.Printf("  %7d..%-7d %d branches\n", 1<<(b-1), (1<<b)-1, c)
+			outf("  %7d..%-7d %d branches\n", 1<<(b-1), (1<<b)-1, c)
 		}
 	}
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "cbmcompress:", err)
+	_, _ = fmt.Fprintln(os.Stderr, "cbmcompress:", err)
 	os.Exit(1)
+}
+
+// outf writes a formatted line to stdout and exits non-zero if the
+// write fails, so a broken pipe cannot silently truncate the report.
+func outf(format string, args ...any) {
+	if _, err := fmt.Printf(format, args...); err != nil {
+		_, _ = fmt.Fprintln(os.Stderr, "cbmcompress: write:", err)
+		os.Exit(1)
+	}
 }
 
 func maxInt(a, b int) int {

@@ -1,0 +1,100 @@
+// Command cbmlint runs the repository's custom static-analysis suite
+// (internal/lint) over the given package patterns — a multichecker in
+// the spirit of golang.org/x/tools/go/analysis/multichecker, built on
+// the standard library only.
+//
+//	cbmlint ./...                 # whole module (what ci.sh runs)
+//	cbmlint -run hotalloc ./internal/kernels/...
+//	cbmlint -list
+//
+// It accepts the same package patterns as go vet, so CI can point both
+// tools at one shared pattern set. Diagnostics print as
+// file:line:col: [analyzer] message; the exit status is 1 when any
+// diagnostic was reported, 2 on usage or load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	var (
+		runList = flag.String("run", "", "comma-separated analyzer subset (default: all)")
+		list    = flag.Bool("list", false, "list analyzers and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			outf("%-18s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := lint.All()
+	if *runList != "" {
+		analyzers = analyzers[:0:0]
+		for _, name := range strings.Split(*runList, ",") {
+			a := lint.Get(strings.TrimSpace(name))
+			if a == nil {
+				fatalf("unknown analyzer %q (see -list)", name)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(patterns)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	cwd, _ := os.Getwd()
+	found := 0
+	for _, pkg := range pkgs {
+		var diags []lint.Diagnostic
+		for _, a := range analyzers {
+			if a.Scope != nil && !a.Scope(pkg.Path) {
+				continue
+			}
+			diags = append(diags, lint.RunAnalyzer(a, pkg)...)
+		}
+		sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+		for _, d := range diags {
+			pos := d.Position(pkg.Fset)
+			name := pos.Filename
+			if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+				name = rel
+			}
+			outf("%s:%d:%d: [%s] %s\n", name, pos.Line, pos.Column, d.Analyzer, d.Message)
+			found++
+		}
+	}
+	if found > 0 {
+		outf("cbmlint: %d diagnostic(s)\n", found)
+		os.Exit(1)
+	}
+}
+
+// outf writes to stdout and exits non-zero when the write fails, so a
+// broken pipe cannot silently swallow diagnostics.
+func outf(format string, args ...any) {
+	if _, err := fmt.Printf(format, args...); err != nil {
+		fatalf("writing output: %v", err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	_, _ = fmt.Fprintf(os.Stderr, "cbmlint: "+format+"\n", args...)
+	os.Exit(2)
+}

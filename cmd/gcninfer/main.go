@@ -34,7 +34,7 @@ func main() {
 		fatal(err)
 	}
 	a := d.Generate(*seed)
-	fmt.Printf("graph: %s (%d nodes, %d edges)\n", d.Name, a.Rows, a.NNZ())
+	outf("graph: %s (%d nodes, %d edges)\n", d.Name, a.Rows, a.NNZ())
 
 	csrBackend, err := gnn.NewCSRBackend(a)
 	if err != nil {
@@ -44,11 +44,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("CBM build: %v (deltas/nnz = %.3f, %d branches)\n",
+	outf("CBM build: %v (deltas/nnz = %.3f, %d branches)\n",
 		stats.Total(),
 		float64(cbmBackend.M.NumDeltas())/float64(cbmBackend.M.Delta().Rows+a.NNZ()),
 		cbmBackend.M.NumBranches())
-	fmt.Printf("Â footprint: CSR %s MiB, CBM %s MiB\n",
+	outf("Â footprint: CSR %s MiB, CBM %s MiB\n",
 		bench.MiB(csrBackend.FootprintBytes()), bench.MiB(cbmBackend.FootprintBytes()))
 
 	rng := xrand.New(*seed + 11)
@@ -59,14 +59,14 @@ func main() {
 	th := *threads
 	tCSR := bench.Measure(*reps, 1, func() { model.Infer(csrBackend, x, th) })
 	tCBM := bench.Measure(*reps, 1, func() { model.Infer(cbmBackend, x, th) })
-	fmt.Printf("inference CSR: %s s\n", tCSR)
-	fmt.Printf("inference CBM: %s s\n", tCBM)
-	fmt.Printf("speedup:       %.2f×\n", tCSR.Seconds()/tCBM.Seconds())
+	outf("inference CSR: %s s\n", tCSR)
+	outf("inference CBM: %s s\n", tCBM)
+	outf("speedup:       %.2f×\n", tCSR.Seconds()/tCBM.Seconds())
 
 	// Correctness cross-check, the paper's 1e-5 criterion.
 	z1 := model.Infer(csrBackend, x, th)
 	z2 := model.Infer(cbmBackend, x, th)
-	fmt.Printf("max rel diff CSR vs CBM: %.2e\n", dense.MaxRelDiff(z1, z2, 1))
+	outf("max rel diff CSR vs CBM: %.2e\n", dense.MaxRelDiff(z1, z2, 1))
 
 	if *train {
 		labels := make([]int, a.Rows)
@@ -77,13 +77,22 @@ func main() {
 		cfg := gnn.TrainConfig{LR: 0.2, Epochs: 10, Threads: th}
 		tTrainCSR := bench.Measure(1, 0, func() { small.Train(csrBackend, x, labels, nil, cfg) })
 		tTrainCBM := bench.Measure(1, 0, func() { small.Train(cbmBackend, x, labels, nil, cfg) })
-		fmt.Printf("train 10 epochs CSR: %s s\n", tTrainCSR)
-		fmt.Printf("train 10 epochs CBM: %s s  (%.2f×)\n",
+		outf("train 10 epochs CSR: %s s\n", tTrainCSR)
+		outf("train 10 epochs CBM: %s s  (%.2f×)\n",
 			tTrainCBM, tTrainCSR.Seconds()/tTrainCBM.Seconds())
 	}
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "gcninfer:", err)
+	_, _ = fmt.Fprintln(os.Stderr, "gcninfer:", err)
 	os.Exit(1)
+}
+
+// outf writes a formatted line to stdout and exits non-zero if the
+// write fails, so a broken pipe cannot silently truncate the report.
+func outf(format string, args ...any) {
+	if _, err := fmt.Printf(format, args...); err != nil {
+		_, _ = fmt.Fprintln(os.Stderr, "gcninfer: write:", err)
+		os.Exit(1)
+	}
 }

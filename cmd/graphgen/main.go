@@ -60,12 +60,13 @@ func main() {
 	}
 
 	w := os.Stdout
+	var f *os.File
 	if *out != "" {
-		f, err := os.Create(*out)
+		var err error
+		f, err = os.Create(*out)
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
 		w = f
 	}
 	switch *format {
@@ -80,11 +81,17 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown -format %q", *format))
 	}
-	fmt.Fprintf(os.Stderr, "graphgen: %d nodes, %d directed entries (avg degree %.1f)\n",
+	if f != nil {
+		// Close errors matter here: the edge list may still be buffered.
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	_, _ = fmt.Fprintf(os.Stderr, "graphgen: %d nodes, %d directed entries (avg degree %.1f)\n",
 		a.Rows, a.NNZ(), float64(a.NNZ())/float64(a.Rows))
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "graphgen:", err)
+	_, _ = fmt.Fprintln(os.Stderr, "graphgen:", err)
 	os.Exit(1)
 }

@@ -48,7 +48,7 @@ func main() {
 
 	if *list {
 		for _, g := range oracle.Generators() {
-			fmt.Printf("%-12s %s\n", g.Name, g.Description)
+			outf("%-12s %s\n", g.Name, g.Description)
 		}
 		return
 	}
@@ -101,7 +101,7 @@ func main() {
 			combos += c
 		}
 	}
-	fmt.Printf("verify: OK — %d kernel comparisons across %d generators, sizes %v, α %v, threads %v (%.2fs)\n",
+	outf("verify: OK — %d kernel comparisons across %d generators, sizes %v, α %v, threads %v (%.2fs)\n",
 		combos, len(genList), sizes, alphaList, threadList, time.Since(start).Seconds())
 }
 
@@ -169,7 +169,7 @@ func runGraph(g oracle.Generator, n int, seed uint64, alphaList, threadList []in
 				oracle.CheckLinearity(m, b, b2, 1.5, -0.5, maxThreads, oracle.Loose()))
 			combos += 3
 			if verbose {
-				fmt.Printf("  ok %-10s n=%-5d α=%-3d kind=%-3v (%d threads variants)\n",
+				outf("  ok %-10s n=%-5d α=%-3d kind=%-3v (%d threads variants)\n",
 					ctx.gen, n, alpha, kind, len(threadList))
 			}
 		}
@@ -220,14 +220,14 @@ func (c reproContext) checkKind(what string, kind cbm.Kind, alpha, threads int, 
 }
 
 func (c reproContext) fail(what, alphas string, threads int, err error) {
-	fmt.Fprintf(os.Stderr, "verify: DIVERGENCE in %s\n", what)
-	fmt.Fprintf(os.Stderr, "  generator=%s n=%d seed=%d\n", c.gen, c.n, c.seed)
-	fmt.Fprintf(os.Stderr, "  %v\n", err)
+	_, _ = fmt.Fprintf(os.Stderr, "verify: DIVERGENCE in %s\n", what)
+	_, _ = fmt.Fprintf(os.Stderr, "  generator=%s n=%d seed=%d\n", c.gen, c.n, c.seed)
+	_, _ = fmt.Fprintf(os.Stderr, "  %v\n", err)
 	t := ""
 	if threads > 0 {
 		t = fmt.Sprintf(" -threads %d", threads)
 	}
-	fmt.Fprintf(os.Stderr, "  repro: go run ./cmd/verify -gens %s -n %d -alphas %s%s -seed %d\n",
+	_, _ = fmt.Fprintf(os.Stderr, "  repro: go run ./cmd/verify -gens %s -n %d -alphas %s%s -seed %d\n",
 		c.gen, c.n, alphas, t, c.seed)
 	os.Exit(1)
 }
@@ -263,6 +263,16 @@ func joinInts(vals []int) string {
 }
 
 func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "verify: "+format+"\n", args...)
+	_, _ = fmt.Fprintf(os.Stderr, "verify: "+format+"\n", args...)
 	os.Exit(1)
+}
+
+// outf writes a formatted line to stdout and exits non-zero if the
+// write fails: the final OK line is the sweep's verdict, so a broken
+// pipe must not pass silently.
+func outf(format string, args ...any) {
+	if _, err := fmt.Printf(format, args...); err != nil {
+		_, _ = fmt.Fprintln(os.Stderr, "verify: write:", err)
+		os.Exit(1)
+	}
 }

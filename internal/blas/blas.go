@@ -5,11 +5,15 @@
 // accumulators in registers and bounds checks are hoisted.
 package blas
 
+import "fmt"
+
 // Axpy computes y[i] += a*x[i] for all i. x and y must have equal
 // length; it panics otherwise (mirrors the BLAS contract).
+//
+//cbm:hotpath
 func Axpy(a float32, x, y []float32) {
 	if len(x) != len(y) {
-		panic("blas: Axpy length mismatch")
+		panic(fmt.Sprintf("blas: Axpy length mismatch: len(x)=%d len(y)=%d", len(x), len(y)))
 	}
 	if a == 0 || len(x) == 0 {
 		return
@@ -36,9 +40,11 @@ func Axpy(a float32, x, y []float32) {
 
 // Add computes y[i] += x[i] — the a == 1 axpy specialization used by
 // the CBM update stage for unscaled (AX) products.
+//
+//cbm:hotpath
 func Add(x, y []float32) {
 	if len(x) != len(y) {
-		panic("blas: Add length mismatch")
+		panic(fmt.Sprintf("blas: Add length mismatch: len(x)=%d len(y)=%d", len(x), len(y)))
 	}
 	i := 0
 	for ; i+8 <= len(x); i += 8 {
@@ -61,9 +67,11 @@ func Add(x, y []float32) {
 // AxpbyTo computes dst[i] = a*x[i] + b*y[i]. dst may alias x or y.
 // It is the fused kernel of the DADX update stage
 // (dst = d_x*(parent/d_p) + d_x*child, Eq. 6 of the paper).
+//
+//cbm:hotpath
 func AxpbyTo(dst []float32, a float32, x []float32, b float32, y []float32) {
 	if len(x) != len(y) || len(dst) != len(x) {
-		panic("blas: AxpbyTo length mismatch")
+		panic(fmt.Sprintf("blas: AxpbyTo length mismatch: len(dst)=%d len(x)=%d len(y)=%d", len(dst), len(x), len(y)))
 	}
 	i := 0
 	for ; i+8 <= len(x); i += 8 {
@@ -85,6 +93,8 @@ func AxpbyTo(dst []float32, a float32, x []float32, b float32, y []float32) {
 }
 
 // Scal computes x[i] *= a.
+//
+//cbm:hotpath
 func Scal(a float32, x []float32) {
 	i := 0
 	for ; i+8 <= len(x); i += 8 {
@@ -105,9 +115,11 @@ func Scal(a float32, x []float32) {
 
 // Dot returns the inner product of x and y. Four independent
 // accumulators break the floating-point dependency chain.
+//
+//cbm:hotpath
 func Dot(x, y []float32) float32 {
 	if len(x) != len(y) {
-		panic("blas: Dot length mismatch")
+		panic(fmt.Sprintf("blas: Dot length mismatch: len(x)=%d len(y)=%d", len(x), len(y)))
 	}
 	var s0, s1, s2, s3 float32
 	i := 0
@@ -126,6 +138,8 @@ func Dot(x, y []float32) float32 {
 }
 
 // Asum returns the sum of absolute values of x.
+//
+//cbm:hotpath
 func Asum(x []float32) float32 {
 	var s float32
 	for _, v := range x {
@@ -139,14 +153,18 @@ func Asum(x []float32) float32 {
 }
 
 // Copy copies x into y.
+//
+//cbm:hotpath
 func Copy(x, y []float32) {
 	if len(x) != len(y) {
-		panic("blas: Copy length mismatch")
+		panic(fmt.Sprintf("blas: Copy length mismatch: len(x)=%d len(y)=%d", len(x), len(y)))
 	}
 	copy(y, x)
 }
 
 // Fill sets every element of x to v.
+//
+//cbm:hotpath
 func Fill(x []float32, v float32) {
 	for i := range x {
 		x[i] = v

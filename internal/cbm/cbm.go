@@ -333,7 +333,7 @@ func (m *Matrix) WithColumnScale(d []float32) *Matrix {
 		panic("cbm: WithColumnScale requires a KindA matrix")
 	}
 	if len(d) != m.n {
-		panic("cbm: diagonal length mismatch")
+		panic(fmt.Sprintf("cbm: diagonal length mismatch: len(d)=%d, want %d", len(d), m.n))
 	}
 	return &Matrix{
 		n:        m.n,
@@ -352,7 +352,7 @@ func (m *Matrix) WithSymmetricScale(d []float32) *Matrix {
 		panic("cbm: WithSymmetricScale requires a KindA matrix")
 	}
 	if len(d) != m.n {
-		panic("cbm: diagonal length mismatch")
+		panic(fmt.Sprintf("cbm: diagonal length mismatch: len(d)=%d, want %d", len(d), m.n))
 	}
 	dc := make([]float32, len(d))
 	copy(dc, d)
@@ -377,7 +377,7 @@ func (m *Matrix) WithScales(left, right []float32) *Matrix {
 		panic("cbm: WithScales requires a KindA matrix")
 	}
 	if len(left) != m.n || len(right) != m.n {
-		panic("cbm: diagonal length mismatch")
+		panic(fmt.Sprintf("cbm: diagonal length mismatch: len(left)=%d len(right)=%d, want %d", len(left), len(right), m.n))
 	}
 	lc := make([]float32, len(left))
 	copy(lc, left)

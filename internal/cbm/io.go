@@ -134,22 +134,21 @@ func Decode(r io.Reader) (*Matrix, error) {
 // root, and an edge from each parent to its children — a debugging and
 // documentation artifact for inspecting what the MST/MCA chose.
 func (m *Matrix) WriteDOT(w io.Writer) error {
+	// bufio.Writer errors are sticky: writes after a failure are no-ops
+	// and Flush reports the first error, so interior write errors are
+	// deliberately discarded and surface at the end.
 	bw := bufio.NewWriter(w)
-	if _, err := fmt.Fprintln(bw, "digraph cbm {"); err != nil {
-		return err
-	}
-	fmt.Fprintln(bw, `  root [shape=box, label="virtual root"];`)
+	_, _ = fmt.Fprintln(bw, "digraph cbm {")
+	_, _ = fmt.Fprintln(bw, `  root [shape=box, label="virtual root"];`)
 	for x := 0; x < m.n; x++ {
 		deltas := m.delta.RowNNZ(x)
-		fmt.Fprintf(bw, "  n%d [label=\"%d (Δ%d)\"];\n", x, x, deltas)
+		_, _ = fmt.Fprintf(bw, "  n%d [label=\"%d (Δ%d)\"];\n", x, x, deltas)
 		if p := m.parent[x]; p < 0 {
-			fmt.Fprintf(bw, "  root -> n%d;\n", x)
+			_, _ = fmt.Fprintf(bw, "  root -> n%d;\n", x)
 		} else {
-			fmt.Fprintf(bw, "  n%d -> n%d;\n", p, x)
+			_, _ = fmt.Fprintf(bw, "  n%d -> n%d;\n", p, x)
 		}
 	}
-	if _, err := fmt.Fprintln(bw, "}"); err != nil {
-		return err
-	}
+	_, _ = fmt.Fprintln(bw, "}")
 	return bw.Flush()
 }

@@ -42,6 +42,8 @@ func (m *Matrix) MulParallel(b *dense.Matrix, threads int) *dense.Matrix {
 }
 
 // MulTo computes c = M·b into the pre-allocated output c (overwritten).
+//
+//cbm:hotpath
 func (m *Matrix) MulTo(c, b *dense.Matrix, threads int) {
 	if b.Rows != m.n {
 		panic(fmt.Sprintf("cbm: Mul shape mismatch: %d×%d · %d×%d", m.n, m.n, b.Rows, b.Cols))
@@ -54,6 +56,8 @@ func (m *Matrix) MulTo(c, b *dense.Matrix, threads int) {
 }
 
 // update runs the tree-traversal stage over the finished delta product.
+//
+//cbm:hotpath
 func (m *Matrix) update(c *dense.Matrix, threads int) {
 	if threads == 1 || len(m.branches) == 1 {
 		for _, branch := range m.branches {
@@ -68,6 +72,8 @@ func (m *Matrix) update(c *dense.Matrix, threads int) {
 
 // updateBranch applies the update stage to one root subtree, whose
 // nodes arrive in pre-order (each parent strictly before its children).
+//
+//cbm:hotpath
 func (m *Matrix) updateBranch(c *dense.Matrix, branch []int32) {
 	switch m.kind {
 	case KindA, KindAD:
@@ -100,7 +106,7 @@ func (m *Matrix) updateBranch(c *dense.Matrix, branch []int32) {
 // of Sec. IV). It shares the two-stage structure of MulTo.
 func (m *Matrix) MulVec(v []float32) []float32 {
 	if len(v) != m.n {
-		panic("cbm: MulVec shape mismatch")
+		panic(fmt.Sprintf("cbm: MulVec shape mismatch: matrix is %dx%d, len(v)=%d", m.n, m.n, len(v)))
 	}
 	y := kernels.SpMV(m.delta, v)
 	switch m.kind {
@@ -144,6 +150,8 @@ const (
 
 // MulToStrategy is MulTo with an explicit update-stage strategy and,
 // for StrategyBranchColumn, the column block width (0 picks 64).
+//
+//cbm:hotpath
 func (m *Matrix) MulToStrategy(c, b *dense.Matrix, threads int, strat UpdateStrategy, colBlock int) {
 	if strat == StrategyBranch {
 		m.MulTo(c, b, threads)
@@ -160,25 +168,22 @@ func (m *Matrix) MulToStrategy(c, b *dense.Matrix, threads int, strat UpdateStra
 		colBlock = 64
 	}
 	nBlocks := (c.Cols + colBlock - 1) / colBlock
-	type task struct{ branch, block int }
-	tasks := make([]task, 0, len(m.branches)*nBlocks)
-	for bi := range m.branches {
-		for blk := 0; blk < nBlocks; blk++ {
-			tasks = append(tasks, task{bi, blk})
-		}
-	}
-	parallel.ForDynamic(len(tasks), threads, 1, func(ti int) {
-		t := tasks[ti]
-		lo := t.block * colBlock
+	// (branch, block) pairs are scheduled as one flat index space; the
+	// pair is recovered by division so no task slice is materialized
+	// (Property 3: the update stage allocates nothing).
+	parallel.ForDynamic(len(m.branches)*nBlocks, threads, 1, func(ti int) {
+		lo := (ti % nBlocks) * colBlock
 		hi := lo + colBlock
 		if hi > c.Cols {
 			hi = c.Cols
 		}
-		m.updateBranchCols(c, m.branches[t.branch], lo, hi)
+		m.updateBranchCols(c, m.branches[ti/nBlocks], lo, hi)
 	})
 }
 
 // updateBranchCols is updateBranch restricted to columns [lo, hi).
+//
+//cbm:hotpath
 func (m *Matrix) updateBranchCols(c *dense.Matrix, branch []int32, lo, hi int) {
 	switch m.kind {
 	case KindA, KindAD:
@@ -207,7 +212,7 @@ func (m *Matrix) updateBranchCols(c *dense.Matrix, branch []int32, lo, hi int) {
 // rows in parallel, then the branch-parallel update.
 func (m *Matrix) MulVecParallel(v []float32, threads int) []float32 {
 	if len(v) != m.n {
-		panic("cbm: MulVec shape mismatch")
+		panic(fmt.Sprintf("cbm: MulVecParallel shape mismatch: matrix is %dx%d, len(v)=%d", m.n, m.n, len(v)))
 	}
 	y := make([]float32, m.n)
 	parallel.ForDynamic(m.n, threads, 128, func(i int) {

@@ -36,7 +36,7 @@ func FromRows(rows [][]float32) *Matrix {
 	m := New(len(rows), len(rows[0]))
 	for i, r := range rows {
 		if len(r) != m.Cols {
-			panic("dense: ragged rows")
+			panic(fmt.Sprintf("dense: ragged rows: row %d has %d cols, want %d", i, len(r), m.Cols))
 		}
 		copy(m.Row(i), r)
 	}
@@ -84,7 +84,7 @@ func (m *Matrix) Equal(o *Matrix) bool {
 // MaxAbsDiff returns the largest absolute element-wise difference.
 func MaxAbsDiff(a, b *Matrix) float64 {
 	if a.Rows != b.Rows || a.Cols != b.Cols {
-		panic("dense: shape mismatch")
+		panic(fmt.Sprintf("dense: MaxAbsDiff shape mismatch: %dx%d vs %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	var max float64
 	for i := range a.Data {
@@ -101,7 +101,7 @@ func MaxAbsDiff(a, b *Matrix) float64 {
 // kernels against the CSR baseline.
 func MaxRelDiff(a, b *Matrix, floor float64) float64 {
 	if a.Rows != b.Rows || a.Cols != b.Cols {
-		panic("dense: shape mismatch")
+		panic(fmt.Sprintf("dense: MaxRelDiff shape mismatch: %dx%d vs %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	if floor <= 0 {
 		floor = 1
@@ -140,7 +140,7 @@ func MulParallel(a, b *Matrix, threads int) *Matrix {
 // MulTo computes c = a·b into a pre-allocated c (overwritten).
 func MulTo(c, a, b *Matrix, threads int) {
 	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
-		panic("dense: MulTo shape mismatch")
+		panic(fmt.Sprintf("dense: MulTo shape mismatch: c %dx%d, a %dx%d, b %dx%d", c.Rows, c.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	c.Zero()
 	parallel.ForRange(a.Rows, threads, func(lo, hi int) {
@@ -159,7 +159,7 @@ func MulTo(c, a, b *Matrix, threads int) {
 // AddBiasRow adds the bias vector to every row of m in place.
 func (m *Matrix) AddBiasRow(bias []float32) {
 	if len(bias) != m.Cols {
-		panic("dense: bias length mismatch")
+		panic(fmt.Sprintf("dense: bias length mismatch: len(bias)=%d, want %d cols", len(bias), m.Cols))
 	}
 	for i := 0; i < m.Rows; i++ {
 		blas.Add(bias, m.Row(i))
@@ -185,7 +185,7 @@ func (m *Matrix) Scale(a float32) *Matrix {
 // Add accumulates o into m element-wise in place and returns m.
 func (m *Matrix) Add(o *Matrix) *Matrix {
 	if m.Rows != o.Rows || m.Cols != o.Cols {
-		panic("dense: Add shape mismatch")
+		panic(fmt.Sprintf("dense: Add shape mismatch: %dx%d vs %dx%d", m.Rows, m.Cols, o.Rows, o.Cols))
 	}
 	blas.Add(o.Data, m.Data)
 	return m
@@ -206,7 +206,7 @@ func (m *Matrix) Transpose() *Matrix {
 // ScaleRows multiplies row i of m by d[i] in place (computes diag(d)·M).
 func (m *Matrix) ScaleRows(d []float32) *Matrix {
 	if len(d) != m.Rows {
-		panic("dense: ScaleRows length mismatch")
+		panic(fmt.Sprintf("dense: ScaleRows length mismatch: len(d)=%d, want %d rows", len(d), m.Rows))
 	}
 	for i := 0; i < m.Rows; i++ {
 		blas.Scal(d[i], m.Row(i))
@@ -217,7 +217,7 @@ func (m *Matrix) ScaleRows(d []float32) *Matrix {
 // ScaleCols multiplies column j of m by d[j] in place (computes M·diag(d)).
 func (m *Matrix) ScaleCols(d []float32) *Matrix {
 	if len(d) != m.Cols {
-		panic("dense: ScaleCols length mismatch")
+		panic(fmt.Sprintf("dense: ScaleCols length mismatch: len(d)=%d, want %d cols", len(d), m.Cols))
 	}
 	for i := 0; i < m.Rows; i++ {
 		row := m.Row(i)

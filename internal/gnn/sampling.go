@@ -133,7 +133,7 @@ func SAGEBatch(layers []*SAGEConv, sampler *Sampler, x *dense.Matrix, batch []in
 // (i.e. the action of a Linear layer on a single feature vector).
 func matVecInto(dst []float32, w *dense.Matrix, x []float32) {
 	if len(x) != w.Rows || len(dst) != w.Cols {
-		panic("gnn: matVecInto shape mismatch")
+		panic(fmt.Sprintf("gnn: matVecInto shape mismatch: len(x)=%d len(dst)=%d, w is %dx%d", len(x), len(dst), w.Rows, w.Cols))
 	}
 	blas.Fill(dst, 0)
 	for k, xv := range x {

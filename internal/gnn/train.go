@@ -1,6 +1,7 @@
 package gnn
 
 import (
+	"fmt"
 	"math"
 
 	"repro/internal/dense"
@@ -30,10 +31,10 @@ type TrainResult struct {
 // and writes dL/dz into grad (same shape as z). It returns the loss.
 func SoftmaxCrossEntropy(z *dense.Matrix, labels []int, mask []bool, grad *dense.Matrix) float64 {
 	if len(labels) != z.Rows {
-		panic("gnn: labels length mismatch")
+		panic(fmt.Sprintf("gnn: labels length mismatch: len(labels)=%d, z has %d rows", len(labels), z.Rows))
 	}
 	if grad.Rows != z.Rows || grad.Cols != z.Cols {
-		panic("gnn: grad shape mismatch")
+		panic(fmt.Sprintf("gnn: grad shape mismatch: %dx%d, want %dx%d", grad.Rows, grad.Cols, z.Rows, z.Cols))
 	}
 	grad.Zero()
 	count := 0
@@ -46,6 +47,7 @@ func SoftmaxCrossEntropy(z *dense.Matrix, labels []int, mask []bool, grad *dense
 		return 0
 	}
 	inv := 1.0 / float64(count)
+	finv := float32(inv)
 	loss := 0.0
 	for i := 0; i < z.Rows; i++ {
 		if mask != nil && !mask[i] {
@@ -61,16 +63,16 @@ func SoftmaxCrossEntropy(z *dense.Matrix, labels []int, mask []bool, grad *dense
 		}
 		var sum float64
 		for _, v := range row {
-			sum += math.Exp(float64(v - maxv))
+			sum += math.Exp(float64(v) - float64(maxv))
 		}
 		logSum := math.Log(sum)
 		lbl := labels[i]
-		loss += (logSum - float64(row[lbl]-maxv)) * inv
+		loss += (logSum - (float64(row[lbl]) - float64(maxv))) * inv
 		for j := range grow {
-			p := math.Exp(float64(row[j]-maxv)) / sum
+			p := math.Exp(float64(row[j])-float64(maxv)) / sum
 			grow[j] = float32(p * inv)
 		}
-		grow[lbl] -= float32(inv)
+		grow[lbl] -= finv
 	}
 	return loss
 }

@@ -1,6 +1,7 @@
 package kernels
 
 import (
+	"fmt"
 	"sync"
 
 	"repro/internal/blas"
@@ -20,10 +21,10 @@ import (
 // agree within float addition reassociation otherwise.
 func SpMMBalanced(c *dense.Matrix, s *sparse.CSR, b *dense.Matrix, threads int) {
 	if s.Cols != b.Rows {
-		panic("kernels: SpMMBalanced shape mismatch")
+		panic(fmt.Sprintf("kernels: SpMMBalanced shape mismatch %dx%d · %dx%d", s.Rows, s.Cols, b.Rows, b.Cols))
 	}
 	if c.Rows != s.Rows || c.Cols != b.Cols {
-		panic("kernels: SpMMBalanced output shape mismatch")
+		panic(fmt.Sprintf("kernels: SpMMBalanced output shape mismatch: c is %dx%d, want %dx%d", c.Rows, c.Cols, s.Rows, b.Cols))
 	}
 	threads = threadsOrDefault(threads)
 	nnz := s.NNZ()

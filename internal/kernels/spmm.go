@@ -34,12 +34,14 @@ func SpMMParallel(s *sparse.CSR, b *dense.Matrix, threads int) *dense.Matrix {
 // SpMMTo computes c = s·b into the pre-allocated c (overwritten).
 // Rows of the output are distributed to threads in dynamically
 // scheduled chunks so skewed degree distributions balance.
+//
+//cbm:hotpath
 func SpMMTo(c *dense.Matrix, s *sparse.CSR, b *dense.Matrix, threads int) {
 	if s.Cols != b.Rows {
 		panic(fmt.Sprintf("kernels: SpMM shape mismatch %d×%d · %d×%d", s.Rows, s.Cols, b.Rows, b.Cols))
 	}
 	if c.Rows != s.Rows || c.Cols != b.Cols {
-		panic("kernels: SpMM output shape mismatch")
+		panic(fmt.Sprintf("kernels: SpMM output shape mismatch: c is %dx%d, want %dx%d", c.Rows, c.Cols, s.Rows, b.Cols))
 	}
 	// Grain: enough rows that scheduling overhead amortizes, small
 	// enough that heavy rows don't serialize the tail.
@@ -53,6 +55,8 @@ func SpMMTo(c *dense.Matrix, s *sparse.CSR, b *dense.Matrix, threads int) {
 }
 
 // spmmRow computes one output row: c[i,:] = Σ_k s[i,k]·b[k,:].
+//
+//cbm:hotpath
 func spmmRow(c *dense.Matrix, s *sparse.CSR, b *dense.Matrix, i int) {
 	cols, vals := s.Row(i)
 	crow := c.Row(i)
@@ -72,7 +76,7 @@ func spmmRow(c *dense.Matrix, s *sparse.CSR, b *dense.Matrix, i int) {
 // SpMV computes y = S·x sequentially for a dense vector x.
 func SpMV(s *sparse.CSR, x []float32) []float32 {
 	if s.Cols != len(x) {
-		panic("kernels: SpMV shape mismatch")
+		panic(fmt.Sprintf("kernels: SpMV shape mismatch: matrix is %dx%d, len(x)=%d", s.Rows, s.Cols, len(x)))
 	}
 	y := make([]float32, s.Rows)
 	for i := 0; i < s.Rows; i++ {

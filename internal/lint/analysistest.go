@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// This file is the golden-test harness for the analyzer suite, modeled
+// on golang.org/x/tools/go/analysis/analysistest: fixture packages live
+// under testdata/src/<analyzer>/, and every line that must produce a
+// diagnostic carries a trailing
+//
+//	// want `regexp`
+//
+// comment. The harness runs the analyzer over the fixture and fails the
+// test if any expected diagnostic is missing (so removing a rule breaks
+// the suite) or any unexpected diagnostic appears (so the rules cannot
+// over-trigger on the negative cases that share the fixture).
+
+// wantRe extracts the expectation regexp from a `// want` comment.
+var wantRe = regexp.MustCompile("// want `([^`]*)`")
+
+// RunGolden type-checks testdata/src/<name> as one package, applies the
+// analyzer, and compares the findings line-by-line against the
+// fixture's want comments.
+func RunGolden(t *testing.T, a *Analyzer) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", a.Name)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, e.Name())
+		}
+	}
+	if len(files) == 0 {
+		t.Fatalf("no fixture files in %s", dir)
+	}
+	pkg, err := CheckDir(a.Name, dir, files)
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	// Expected diagnostics, keyed by (file, line).
+	want := map[key][]*regexp.Regexp{}
+	for _, name := range files {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range wantRe.FindAllStringSubmatch(line, -1) {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", name, i+1, m[1], err)
+				}
+				want[key{name, i + 1}] = append(want[key{name, i + 1}], re)
+			}
+		}
+	}
+
+	got := RunAnalyzer(a, pkg)
+	matched := map[key]int{}
+	for _, d := range got {
+		pos := d.Position(pkg.Fset)
+		k := key{filepath.Base(pos.Filename), pos.Line}
+		res := want[k]
+		ok := false
+		for _, re := range res {
+			if re.MatchString(d.Message) {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", k.file, k.line, d.Message)
+			continue
+		}
+		matched[k]++
+	}
+	for k, res := range want {
+		if matched[k] < len(res) {
+			t.Errorf("%s:%d: expected %d diagnostic(s) matching %s, got %d",
+				k.file, k.line, len(res), describe(res), matched[k])
+		}
+	}
+}
+
+func describe(res []*regexp.Regexp) string {
+	parts := make([]string, len(res))
+	for i, re := range res {
+		parts[i] = fmt.Sprintf("`%s`", re)
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,58 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// ErrIgnore forbids silently discarded error returns in the packages
+// where a lost error means lost data: the sparse I/O readers/writers,
+// the CBM binary container, and every CLI under cmd/ (whose whole
+// output is a write that can fail — a full disk or closed pipe must
+// surface as a non-zero exit, not a truncated table that looks
+// complete).
+//
+// A call in statement position (including `go` and `defer`) whose last
+// result is an error is flagged. Explicitly assigning the error to the
+// blank identifier (`_, _ = fmt.Fprintln(w)`) is accepted: it is the
+// visible, reviewable way to say "best effort on purpose" (e.g. stderr
+// diagnostics immediately before os.Exit).
+var ErrIgnore = &Analyzer{
+	Name: "errignore",
+	Doc: "no discarded error returns in sparse/cbm I/O and cmd/ " +
+		"(statement-position calls; explicit `_ =` is an accepted acknowledgment)",
+	Scope: func(pkgPath string) bool {
+		return pkgPath == "repro/internal/sparse" ||
+			pkgPath == "repro/internal/cbm" ||
+			strings.HasPrefix(pkgPath, "repro/cmd/")
+	},
+	Run: runErrIgnore,
+}
+
+func runErrIgnore(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = n.X.(*ast.CallExpr)
+			case *ast.GoStmt:
+				call = n.Call
+			case *ast.DeferStmt:
+				call = n.Call
+			}
+			if call == nil {
+				return true
+			}
+			if _, ok := call.Fun.(*ast.FuncLit); ok {
+				return true // literal's body is visited on its own
+			}
+			if lastResultIsError(p, call) {
+				p.Reportf(call.Pos(),
+					"errignore: error result of %s is discarded; handle it or assign it to _ explicitly",
+					exprString(call.Fun))
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,129 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroutineCapture enforces the worker-spawn convention of
+// internal/parallel: a goroutine launched inside a loop must receive
+// the loop state it needs as explicit parameters
+//
+//	go func(lo, hi int) { ... }(lo, hi)
+//
+// rather than referencing the loop control variables from the closure
+// body. Go 1.22 made per-iteration loop variables the language default,
+// so the classic capture race is gone — but the explicit-parameter form
+// is still required here because it keeps the worker's inputs visible
+// at the spawn site and keeps the kernels backportable and reviewable:
+// a reader (or a race-detector triage) can see exactly which iteration
+// state crosses the goroutine boundary.
+var GoroutineCapture = &Analyzer{
+	Name: "goroutinecapture",
+	Doc: "goroutine closures launched inside loops must take loop variables " +
+		"as parameters (the internal/parallel convention), not capture them",
+	Run: runGoroutineCapture,
+}
+
+func runGoroutineCapture(p *Pass) {
+	for _, f := range p.Files {
+		walkLoops(p, f, nil)
+	}
+}
+
+// walkLoops descends the AST carrying the set of loop control variables
+// currently in scope; at each `go func(){...}()` it checks the closure
+// body against that set.
+func walkLoops(p *Pass, n ast.Node, loopVars []types.Object) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			vars := append(loopVars, forInitVars(p, n)...)
+			if n.Init != nil {
+				walkLoops(p, n.Init, loopVars)
+			}
+			walkLoops(p, n.Body, vars)
+			return false
+		case *ast.RangeStmt:
+			vars := append(loopVars, rangeVars(p, n)...)
+			walkLoops(p, n.Body, vars)
+			return false
+		case *ast.GoStmt:
+			if len(loopVars) > 0 {
+				if fl, ok := n.Call.Fun.(*ast.FuncLit); ok {
+					checkClosure(p, fl, loopVars)
+				}
+			}
+			// Arguments at the spawn site are evaluated synchronously —
+			// that is the sanctioned way to hand over loop state — so
+			// only the closure body is checked; descend no further (the
+			// closure body was just handled, nested loops within it get
+			// their own pass through the recursion below).
+			if fl, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				walkLoops(p, fl.Body, nil) // nested loops inside the worker start fresh
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// checkClosure reports every reference inside the closure body to one
+// of the enclosing loops' control variables.
+func checkClosure(p *Pass, fl *ast.FuncLit, loopVars []types.Object) {
+	seen := map[types.Object]bool{}
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := p.Info.Uses[id]
+		if obj == nil || seen[obj] {
+			return true
+		}
+		for _, lv := range loopVars {
+			if obj == lv {
+				seen[obj] = true
+				p.Reportf(id.Pos(),
+					"goroutinecapture: goroutine closure captures loop variable %q; pass it as a parameter", id.Name)
+			}
+		}
+		return true
+	})
+}
+
+// forInitVars returns the objects defined by a `for i := ...` init
+// clause.
+func forInitVars(p *Pass, fs *ast.ForStmt) []types.Object {
+	as, ok := fs.Init.(*ast.AssignStmt)
+	if !ok || as.Tok != token.DEFINE {
+		return nil
+	}
+	var vars []types.Object
+	for _, lhs := range as.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok {
+			if obj := p.Info.Defs[id]; obj != nil {
+				vars = append(vars, obj)
+			}
+		}
+	}
+	return vars
+}
+
+// rangeVars returns the objects defined by a `for k, v := range ...`
+// clause.
+func rangeVars(p *Pass, rs *ast.RangeStmt) []types.Object {
+	if rs.Tok != token.DEFINE {
+		return nil
+	}
+	var vars []types.Object
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := p.Info.Defs[id]; obj != nil {
+				vars = append(vars, obj)
+			}
+		}
+	}
+	return vars
+}

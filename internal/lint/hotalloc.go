@@ -1,0 +1,159 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotAlloc enforces Property 3 of the paper (constant extra memory in
+// the multiplication pipeline) at the source level: a function marked
+// //cbm:hotpath must not allocate or hash per call. Flagged inside
+// annotated functions (and any function literals they contain):
+//
+//   - make, append and new
+//   - map literals, map index writes, delete
+//   - interface boxing: passing or assigning a concrete value where an
+//     interface is expected (each boxing may heap-allocate)
+//
+// Validation guards whose body only panics are exempt — their
+// fmt.Sprintf boxing executes exclusively on the failure path, and
+// shapepanic *requires* dimensioned messages there. O(1) closure
+// headers (the internal/parallel worker-body idiom) are accepted.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc: "forbid make/append/map operations/interface boxing in //cbm:hotpath functions " +
+		"(panic guards exempt)",
+	Run: runHotAlloc,
+}
+
+func runHotAlloc(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasHotPathDirective(fd) {
+				continue
+			}
+			w := &hotAllocWalker{p: p, fn: fd.Name.Name}
+			ast.Walk(w, fd.Body)
+		}
+	}
+}
+
+type hotAllocWalker struct {
+	p  *Pass
+	fn string
+}
+
+func (w *hotAllocWalker) Visit(n ast.Node) ast.Visitor {
+	switch n := n.(type) {
+	case *ast.IfStmt:
+		if isPanicGuard(w.p, n) {
+			return nil // cold failure path: allocation for the message is fine
+		}
+	case *ast.CallExpr:
+		w.checkCall(n)
+	case *ast.CompositeLit:
+		if t := w.p.TypeOf(n); t != nil {
+			switch t.Underlying().(type) {
+			case *types.Map:
+				w.p.Reportf(n.Pos(), "hotalloc: map literal inside //cbm:hotpath function %s", w.fn)
+			case *types.Slice:
+				w.p.Reportf(n.Pos(), "hotalloc: slice literal allocates inside //cbm:hotpath function %s", w.fn)
+			}
+		}
+	case *ast.AssignStmt:
+		w.checkAssign(n)
+	case *ast.UnaryExpr:
+		// &T{...} escapes like new(T) when it leaves the frame; treat
+		// taking the address of a composite literal as an allocation.
+		if n.Op.String() == "&" {
+			if _, ok := n.X.(*ast.CompositeLit); ok {
+				w.p.Reportf(n.Pos(), "hotalloc: &composite literal allocates inside //cbm:hotpath function %s", w.fn)
+			}
+		}
+	}
+	return w
+}
+
+// checkCall flags allocating builtins and interface boxing at call
+// boundaries.
+func (w *hotAllocWalker) checkCall(call *ast.CallExpr) {
+	switch builtinName(w.p, call) {
+	case "make", "append", "new":
+		w.p.Reportf(call.Pos(), "hotalloc: %s inside //cbm:hotpath function %s",
+			builtinName(w.p, call), w.fn)
+		return
+	case "delete":
+		w.p.Reportf(call.Pos(), "hotalloc: map delete inside //cbm:hotpath function %s", w.fn)
+		return
+	case "":
+		// not a builtin: fall through to signature inspection
+	default:
+		return // len, cap, copy, panic, ...: allocation-free
+	}
+	if isConversion(w.p, call) {
+		if t := w.p.TypeOf(call); t != nil && types.IsInterface(t) {
+			w.p.Reportf(call.Pos(), "hotalloc: conversion of %s to interface %s boxes inside //cbm:hotpath function %s",
+				exprString(call.Args[0]), t.String(), w.fn)
+		}
+		return
+	}
+	sig, ok := w.p.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		var param types.Type
+		switch {
+		case sig.Variadic() && i >= sig.Params().Len()-1:
+			last := sig.Params().At(sig.Params().Len() - 1).Type()
+			if sl, ok := last.(*types.Slice); ok {
+				param = sl.Elem()
+			}
+		case i < sig.Params().Len():
+			param = sig.Params().At(i).Type()
+		}
+		if param == nil || !types.IsInterface(param) {
+			continue
+		}
+		at := w.p.TypeOf(arg)
+		if at == nil || types.IsInterface(at) || isUntypedNil(at) {
+			continue
+		}
+		w.p.Reportf(arg.Pos(), "hotalloc: %s boxed into interface argument of %s inside //cbm:hotpath function %s",
+			exprString(arg), exprString(call.Fun), w.fn)
+	}
+}
+
+// checkAssign flags map index writes and assignments that box a
+// concrete value into an interface-typed location.
+func (w *hotAllocWalker) checkAssign(as *ast.AssignStmt) {
+	for _, lhs := range as.Lhs {
+		if ix, ok := lhs.(*ast.IndexExpr); ok {
+			if t := w.p.TypeOf(ix.X); t != nil {
+				if _, ok := t.Underlying().(*types.Map); ok {
+					w.p.Reportf(lhs.Pos(), "hotalloc: map assignment inside //cbm:hotpath function %s", w.fn)
+				}
+			}
+		}
+	}
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i := range as.Lhs {
+		lt := w.p.TypeOf(as.Lhs[i])
+		rt := w.p.TypeOf(as.Rhs[i])
+		if lt == nil || rt == nil {
+			continue
+		}
+		if types.IsInterface(lt) && !types.IsInterface(rt) && !isUntypedNil(rt) {
+			w.p.Reportf(as.Rhs[i].Pos(), "hotalloc: %s boxed into interface inside //cbm:hotpath function %s",
+				exprString(as.Rhs[i]), w.fn)
+		}
+	}
+}
+
+func isUntypedNil(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}

@@ -1,0 +1,244 @@
+// Package lint implements cbmlint, the repository's custom static
+// analysis suite. The paper's performance properties (never more scalar
+// operations than CSR, constant extra memory, race-free branch-parallel
+// updates) are invariants of *code shape*, not just of logic: one stray
+// allocation in a //cbm:hotpath kernel, one goroutine closure that
+// shares loop state, or one float32 accumulation routed through float64
+// silently voids them without failing any correctness test. The
+// analyzers here catch that drift at review time, before the runtime
+// oracle (internal/oracle) ever sees it.
+//
+// The design mirrors golang.org/x/tools/go/analysis — an Analyzer is a
+// named Run function over a type-checked package — but is built purely
+// on the standard library (go/ast, go/types, go/importer) so the module
+// stays dependency-free.
+//
+// Analyzers:
+//
+//   - hotalloc:         no make/append/new/map ops/interface boxing in
+//     functions marked //cbm:hotpath (panic guards exempt)
+//   - shapepanic:       dimension-check panics must carry the offending
+//     dimensions via fmt.Sprintf, not a bare string
+//   - goroutinecapture: goroutine closures inside loops must take loop
+//     variables as parameters, the internal/parallel convention
+//   - floatmix:         no cross-precision float conversions inside
+//     accumulation loops
+//   - errignore:        no silently discarded error returns in the I/O
+//     and CLI packages
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static check. Run inspects a type-checked
+// package through the Pass and reports findings via Pass.Reportf.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -run filters.
+	Name string
+	// Doc is a one-paragraph description shown by cbmlint -list.
+	Doc string
+	// Scope restricts the analyzer to matching import paths when run by
+	// the driver (nil = every package). The golden-test harness bypasses
+	// Scope so fixtures exercise the rule regardless of their path.
+	Scope func(pkgPath string) bool
+	// Run performs the analysis.
+	Run func(*Pass)
+}
+
+// A Pass carries one type-checked package through an analyzer.
+type Pass struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Path  string // import path of the package under analysis
+	Pkg   *types.Package
+	Info  *types.Info
+
+	analyzer *Analyzer
+	diags    *[]Diagnostic
+}
+
+// A Diagnostic is one finding, positioned at Pos.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of e, or nil if not recorded.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
+
+// All returns the full analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{HotAlloc, ShapePanic, GoroutineCapture, FloatMix, ErrIgnore}
+}
+
+// Get returns the analyzer with the given name, or nil.
+func Get(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// RunAnalyzer applies a to pkg and returns the findings sorted by
+// position. It ignores a.Scope; callers that want scoping (the cbmlint
+// driver) check it before calling.
+func RunAnalyzer(a *Analyzer, pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	pass := &Pass{
+		Fset:     pkg.Fset,
+		Files:    pkg.Files,
+		Path:     pkg.Path,
+		Pkg:      pkg.Types,
+		Info:     pkg.Info,
+		analyzer: a,
+		diags:    &diags,
+	}
+	a.Run(pass)
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags
+}
+
+// ---------------------------------------------------------------------
+// Shared helpers
+// ---------------------------------------------------------------------
+
+// HotPathDirective is the comment that marks a function as part of the
+// multiplication hot path, opting it into the hotalloc analyzer.
+const HotPathDirective = "//cbm:hotpath"
+
+// hasHotPathDirective reports whether the function declaration carries
+// the //cbm:hotpath directive in its doc comment block.
+func hasHotPathDirective(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.TrimSpace(c.Text) == HotPathDirective {
+			return true
+		}
+	}
+	return false
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+// lastResultIsError reports whether the call's (possibly tuple) result
+// ends in an error.
+func lastResultIsError(p *Pass, call *ast.CallExpr) bool {
+	t := p.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	if tup, ok := t.(*types.Tuple); ok {
+		if tup.Len() == 0 {
+			return false
+		}
+		t = tup.At(tup.Len() - 1).Type()
+	}
+	return types.Identical(t, errorType)
+}
+
+// isConversion reports whether the call expression is a type conversion
+// (its Fun denotes a type rather than a value).
+func isConversion(p *Pass, call *ast.CallExpr) bool {
+	tv, ok := p.Info.Types[call.Fun]
+	return ok && tv.IsType()
+}
+
+// builtinName returns the name of the builtin being called ("make",
+// "append", ...) or "" if the callee is not a builtin.
+func builtinName(p *Pass, call *ast.CallExpr) string {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if _, ok := p.Info.Uses[id].(*types.Builtin); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// isBasicFloat reports whether t's underlying type is the given float
+// kind.
+func isBasicFloat(t types.Type, kind types.BasicKind) bool {
+	b, ok := t.(*types.Basic)
+	if !ok {
+		if t == nil {
+			return false
+		}
+		b, ok = t.Underlying().(*types.Basic)
+		if !ok {
+			return false
+		}
+	}
+	return b.Kind() == kind
+}
+
+// isPanicCall reports whether stmt is an expression statement calling
+// the panic builtin.
+func isPanicCall(p *Pass, stmt ast.Stmt) bool {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	return builtinName(p, call) == "panic"
+}
+
+// isPanicGuard reports whether the if statement is a validation guard
+// whose body does nothing but panic — the shape-check idiom
+//
+//	if len(x) != len(y) { panic(fmt.Sprintf(...)) }
+//
+// Such guards are cold by construction, so hot-path analyzers skip
+// them: the fmt.Sprintf boxing only ever executes on the failure path.
+func isPanicGuard(p *Pass, ifs *ast.IfStmt) bool {
+	n := len(ifs.Body.List)
+	return n > 0 && isPanicCall(p, ifs.Body.List[n-1])
+}
+
+// exprString renders a compact source-ish form of e for messages.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "(...)"
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	case *ast.ParenExpr:
+		return exprString(e.X)
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	case *ast.BinaryExpr:
+		return exprString(e.X) + " " + e.Op.String() + " " + exprString(e.Y)
+	default:
+		return "expression"
+	}
+}
+
+// position is a small convenience for drivers.
+func (d Diagnostic) Position(fset *token.FileSet) token.Position { return fset.Position(d.Pos) }

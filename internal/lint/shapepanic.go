@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// ShapePanic requires dimension-check panics to carry the offending
+// dimensions. A panic whose argument is a compile-time constant string
+// mentioning a shape concept ("mismatch", "range", "square", "shape",
+// "ragged") necessarily omits the actual sizes, which turns every
+// downstream report into a round-trip ("what were the shapes?"). The
+// repo style — established by cbm.MulTo — is
+//
+//	panic(fmt.Sprintf("cbm: Mul shape mismatch: %d×%d · %d×%d", ...))
+//
+// A fmt.Sprintf with at least one operand after the format string
+// satisfies the rule; so does any other non-constant message.
+var ShapePanic = &Analyzer{
+	Name: "shapepanic",
+	Doc: "dimension-check panics must include the offending dimensions " +
+		"(fmt.Sprintf with arguments), not a bare string",
+	Run: runShapePanic,
+}
+
+// shapeKeywords mark a panic message as shape/dimension related.
+var shapeKeywords = []string{"mismatch", "range", "square", "shape", "ragged"}
+
+func runShapePanic(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || builtinName(p, call) != "panic" || len(call.Args) != 1 {
+				return true
+			}
+			arg := call.Args[0]
+			if msg, isConst := constantString(p, arg); isConst {
+				if hasShapeKeyword(msg) {
+					p.Reportf(arg.Pos(),
+						"shapepanic: panic message %q omits the offending dimensions; use fmt.Sprintf with the actual sizes", msg)
+				}
+				return true
+			}
+			// fmt.Sprintf with a bare format and no operands is the same
+			// bug wearing a disguise.
+			if inner, ok := ast.Unparen(arg).(*ast.CallExpr); ok && isSprintf(p, inner) && len(inner.Args) == 1 {
+				if msg, isConst := constantString(p, inner.Args[0]); isConst && hasShapeKeyword(msg) {
+					p.Reportf(arg.Pos(),
+						"shapepanic: fmt.Sprintf(%q) has no operands; include the offending dimensions", msg)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// constantString returns the compile-time string value of e, if any.
+func constantString(p *Pass, e ast.Expr) (string, bool) {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+func hasShapeKeyword(msg string) bool {
+	lower := strings.ToLower(msg)
+	for _, kw := range shapeKeywords {
+		if strings.Contains(lower, kw) {
+			return true
+		}
+	}
+	return false
+}
+
+// isSprintf reports whether the call is fmt.Sprintf.
+func isSprintf(p *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Sprintf" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if pn, ok := p.Info.Uses[id].(*types.PkgName); ok {
+		return pn.Imported().Path() == "fmt"
+	}
+	return false
+}

@@ -1,0 +1,49 @@
+// Fixture for the errignore analyzer: discarded error returns in
+// statement position must be flagged; handled or explicitly
+// blank-assigned errors must not.
+package errignore
+
+import (
+	"errors"
+	"fmt"
+	"os"
+)
+
+func writeReport(f *os.File) {
+	fmt.Fprintln(f, "header") // want `errignore: error result of fmt.Fprintln is discarded`
+	f.Close()                 // want `errignore: error result of f.Close is discarded`
+}
+
+func deferredClose(f *os.File) {
+	defer f.Close() // want `errignore: error result of f.Close is discarded`
+}
+
+func helper() error { return errors.New("boom") }
+
+func multi() (int, error) { return 0, nil }
+
+func statements() {
+	helper()    // want `errignore: error result of helper is discarded`
+	go helper() // want `errignore: error result of helper is discarded`
+	multi()     // want `errignore: error result of multi is discarded`
+}
+
+// Negative: handled, propagated, or visibly acknowledged errors.
+func handled(f *os.File) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(f, "ok"); err != nil {
+		return err
+	}
+	_, _ = fmt.Fprintln(os.Stderr, "best-effort diagnostic")
+	_ = f.Close()
+	return nil
+}
+
+// Negative: calls without an error result are not the analyzer's
+// business.
+func noError() {
+	fmt.Sprint("no error result")
+	println("builtin")
+}

@@ -1,0 +1,75 @@
+// Fixture for the floatmix analyzer: cross-precision conversions
+// inside accumulation loops must be flagged; disciplined accumulation
+// and element-wise updates must not.
+package floatmix
+
+import "math"
+
+func badNarrowingAccumulation(xs []float64) float32 {
+	var sum float32
+	for _, x := range xs {
+		sum += float32(x) // want `floatmix: float64 value narrowed to float32 inside accumulation of sum`
+	}
+	return sum
+}
+
+func badNarrowingExpression(xs []float32) float32 {
+	var acc float32
+	for _, x := range xs {
+		acc -= float32(math.Sqrt(float64(x))) // want `floatmix: float64 value narrowed to float32 inside accumulation of acc`
+	}
+	return acc
+}
+
+func badLateWidening(xs []float32) float64 {
+	var sum float64
+	for _, x := range xs {
+		sum += math.Exp(float64(x * x)) // want `floatmix: float32 arithmetic "x \* x" widened to float64 after rounding`
+	}
+	return sum
+}
+
+func badLateWideningSub(row []float32, maxv float32) float64 {
+	var sum float64
+	for _, v := range row {
+		sum += float64(v - maxv) // want `floatmix: float32 arithmetic "v - maxv" widened`
+	}
+	return sum
+}
+
+// Negative: the disciplined form — operands converted before the
+// arithmetic, accumulator stays float64 throughout.
+func goodWideAccumulation(x, y []float32) float64 {
+	var sum float64
+	for i := range x {
+		sum += float64(x[i]) * float64(y[i])
+	}
+	return sum
+}
+
+// Negative: an element-wise update indexed by the loop variable rounds
+// once per element, which is inherent to float32 storage.
+func goodElementwise(dst []float32, xs []float64) {
+	for i, x := range xs {
+		dst[i] -= float32(x)
+	}
+}
+
+// Negative: the same element-wise pattern under a nested loop, indexed
+// by the outer control variable.
+func goodElementwiseNested(dst []float32, xs [][]float64) {
+	for i := range xs {
+		for _, x := range xs[i] {
+			dst[i] += float32(0) * float32(int32(x)) // conversions of non-float64 operands are fine
+		}
+	}
+}
+
+// Negative: float32 arithmetic kept in float32 needs no flag.
+func goodSinglePrecision(x, y []float32) float32 {
+	var s float32
+	for i := range x {
+		s += x[i] * y[i]
+	}
+	return s
+}

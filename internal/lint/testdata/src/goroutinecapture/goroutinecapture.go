@@ -1,0 +1,69 @@
+// Fixture for the goroutinecapture analyzer: goroutine closures inside
+// loops must take loop state as parameters, not capture the control
+// variables.
+package goroutinecapture
+
+import "sync"
+
+func badIndex(n int, out []int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out[i] = i // want `goroutinecapture: goroutine closure captures loop variable "i"`
+		}()
+	}
+	wg.Wait()
+}
+
+func badRange(xs []int, sink chan<- int) {
+	for _, v := range xs {
+		go func() {
+			sink <- v // want `goroutinecapture: goroutine closure captures loop variable "v"`
+		}()
+	}
+}
+
+func badNested(rows [][]int, sink chan<- int) {
+	for i := range rows {
+		for j := range rows[i] {
+			go func() {
+				sink <- rows[i][j] // want `captures loop variable "i"` // want `captures loop variable "j"`
+			}()
+		}
+	}
+}
+
+// Negative: the internal/parallel convention — loop state crosses the
+// goroutine boundary as parameters evaluated at spawn time.
+func goodParams(n int, out []int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = i
+		}(i)
+	}
+	wg.Wait()
+}
+
+// Negative: capturing variables that are not loop state is fine.
+func goodOuterCapture(n int, out []int) {
+	var wg sync.WaitGroup
+	base := n * 2
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = base
+		}(i)
+	}
+	wg.Wait()
+}
+
+// Negative: a goroutine outside any loop may capture what it likes.
+func goodNoLoop(x int, sink chan<- int) {
+	go func() { sink <- x }()
+}

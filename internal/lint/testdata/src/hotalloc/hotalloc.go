@@ -1,0 +1,49 @@
+// Fixture for the hotalloc analyzer: allocation and boxing inside
+// //cbm:hotpath functions must be flagged; panic guards and
+// unannotated functions must not.
+package hotalloc
+
+import "fmt"
+
+//cbm:hotpath
+func hotBad(dst, x []float32, n int) []float32 {
+	buf := make([]float32, n) // want `hotalloc: make inside //cbm:hotpath function hotBad`
+	for i := range buf {
+		dst = append(dst, buf[i]) // want `hotalloc: append inside //cbm:hotpath function hotBad`
+	}
+	p := new(int) // want `hotalloc: new inside //cbm:hotpath function hotBad`
+	_ = p
+	counts := map[int]int{} // want `hotalloc: map literal inside //cbm:hotpath function hotBad`
+	counts[n] = 1           // want `hotalloc: map assignment inside //cbm:hotpath function hotBad`
+	delete(counts, n)       // want `hotalloc: map delete inside //cbm:hotpath function hotBad`
+	fmt.Sprint(n)           // want `hotalloc: n boxed into interface argument of fmt.Sprint`
+	var sink interface{}
+	sink = x[0] // want `hotalloc: x\[\.\.\.\] boxed into interface`
+	_ = sink
+	return dst
+}
+
+//cbm:hotpath
+func hotBoxedConversion(v float64) interface{} {
+	return any(v) // want `hotalloc: conversion of v to interface`
+}
+
+//cbm:hotpath
+func hotGuarded(x, y []float32) {
+	// Negative: a validation guard that only panics is the cold path;
+	// its fmt.Sprintf boxing is exempt.
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("length mismatch %d vs %d", len(x), len(y)))
+	}
+	for i := range x {
+		y[i] += x[i]
+	}
+}
+
+// Negative: no directive, allocate freely.
+func coldAlloc(n int) []float32 {
+	out := make([]float32, n)
+	m := map[string]int{"n": n}
+	_ = m
+	return append(out, 1)
+}

@@ -1,0 +1,44 @@
+// Fixture for the shapepanic analyzer: dimension-check panics with
+// constant messages must be flagged; dimensioned fmt.Sprintf messages
+// and unrelated panics must not.
+package shapepanic
+
+import "fmt"
+
+const rowsMsg = "fixture: rows mismatch"
+
+func bareMismatch(a, b int) {
+	if a != b {
+		panic("fixture: length mismatch") // want `shapepanic: panic message .* omits the offending dimensions`
+	}
+}
+
+func bareViaConst(a, b int) {
+	if a != b {
+		panic(rowsMsg) // want `shapepanic: panic message "fixture: rows mismatch" omits`
+	}
+}
+
+func bareConcat(r, c int) {
+	panic("fixture: " + "shape out of range") // want `shapepanic: panic message .* omits`
+}
+
+func bareSquare() {
+	panic("fixture: needs a square matrix") // want `shapepanic: panic message .* omits`
+}
+
+func emptySprintf(a, b int) {
+	panic(fmt.Sprintf("fixture: shape mismatch")) // want `shapepanic: fmt.Sprintf\(.*\) has no operands`
+}
+
+// Negative: the sanctioned form carries the dimensions.
+func dimensioned(a, b int) {
+	if a != b {
+		panic(fmt.Sprintf("fixture: length mismatch %d vs %d", a, b))
+	}
+}
+
+// Negative: panics unrelated to shapes stay untouched.
+func unrelated() {
+	panic("fixture: unknown kind")
+}

@@ -18,7 +18,7 @@ import (
 // callers should pass a loosened tolerance.
 func CheckLinearity(m *cbm.Matrix, b1, b2 *dense.Matrix, x, y float32, threads int, tol Tolerance) error {
 	if b1.Rows != b2.Rows || b1.Cols != b2.Cols {
-		panic("oracle: CheckLinearity operand shape mismatch")
+		panic(fmt.Sprintf("oracle: CheckLinearity operand shape mismatch: b1 is %dx%d, b2 is %dx%d", b1.Rows, b1.Cols, b2.Rows, b2.Cols))
 	}
 	comb := dense.New(b1.Rows, b1.Cols)
 	for i := range comb.Data {
@@ -69,7 +69,7 @@ func CheckTreeReconstruction(a *sparse.CSR, m *cbm.Matrix) error {
 func CheckMulVecConsistency(m *cbm.Matrix, v []float32, threads int, tol Tolerance) error {
 	n := m.Rows()
 	if len(v) != n {
-		panic("oracle: CheckMulVecConsistency vector length mismatch")
+		panic(fmt.Sprintf("oracle: CheckMulVecConsistency vector length mismatch: len(v)=%d, want %d", len(v), n))
 	}
 	y := m.MulVec(v)
 	b := dense.New(n, 1)

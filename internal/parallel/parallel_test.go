@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"math"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
@@ -204,5 +205,37 @@ func TestReduceDeterministicProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// Regression for the floatmix discipline: float32 summation through
+// Reduce must be bitwise-identical across repetitions for every fixed
+// thread count. Blocks are fixed by the static partition and merged in
+// block order, so the only rounding schedule is the deterministic one;
+// a racy merge or a dynamic partition would break this immediately.
+func TestReduceFloatMergeDeterminism(t *testing.T) {
+	const n = 4097 // odd size: uneven tail block for every thread count
+	xs := make([]float32, n)
+	state := uint64(0x9e3779b97f4a7c15)
+	for i := range xs {
+		state = state*6364136223846793005 + 1442695040888963407
+		// Spread magnitudes so addition order genuinely matters.
+		xs[i] = float32(state>>40) / float32(1+i%37)
+	}
+	sum := func(threads int) float32 {
+		return Reduce(n, threads,
+			func() float32 { return 0 },
+			func(acc float32, i int) float32 { return acc + xs[i] },
+			func(a, b float32) float32 { return a + b },
+		)
+	}
+	for threads := 1; threads <= 8; threads++ {
+		first := sum(threads)
+		for rep := 0; rep < 20; rep++ {
+			if got := sum(threads); math.Float32bits(got) != math.Float32bits(first) {
+				t.Fatalf("threads=%d rep=%d: sum %x, want %x — float merge order is nondeterministic",
+					threads, rep, math.Float32bits(got), math.Float32bits(first))
+			}
+		}
 	}
 }

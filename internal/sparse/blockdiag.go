@@ -1,5 +1,7 @@
 package sparse
 
+import "fmt"
+
 // BlockDiag assembles the block-diagonal matrix of the given square
 // matrices: the standard way GNN frameworks batch many small graphs
 // into one adjacency so a whole batch is processed with a single
@@ -13,7 +15,7 @@ func BlockDiag(blocks ...*CSR) (*CSR, []int32) {
 	nnz := 0
 	for k, b := range blocks {
 		if b.Rows != b.Cols {
-			panic("sparse: BlockDiag needs square blocks")
+			panic(fmt.Sprintf("sparse: BlockDiag needs square blocks, block %d is %dx%d", k, b.Rows, b.Cols))
 		}
 		offsets[k+1] = offsets[k] + int32(b.Rows)
 		nnz += b.NNZ()

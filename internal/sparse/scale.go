@@ -1,11 +1,13 @@
 package sparse
 
+import "fmt"
+
 // ScaleCols returns a copy of m with column j scaled by d[j], i.e. the
 // matrix M·diag(d). The paper's CSR baseline represents AD and DAD as a
 // single pre-scaled CSR matrix; these helpers build it.
 func (m *CSR) ScaleCols(d []float32) *CSR {
 	if len(d) != m.Cols {
-		panic("sparse: ScaleCols length mismatch")
+		panic(fmt.Sprintf("sparse: ScaleCols length mismatch: len(d)=%d, want %d cols", len(d), m.Cols))
 	}
 	out := m.Clone()
 	for k, c := range out.ColIdx {
@@ -18,7 +20,7 @@ func (m *CSR) ScaleCols(d []float32) *CSR {
 // matrix diag(d)·M.
 func (m *CSR) ScaleRows(d []float32) *CSR {
 	if len(d) != m.Rows {
-		panic("sparse: ScaleRows length mismatch")
+		panic(fmt.Sprintf("sparse: ScaleRows length mismatch: len(d)=%d, want %d rows", len(d), m.Rows))
 	}
 	out := m.Clone()
 	for i := 0; i < out.Rows; i++ {

@@ -87,7 +87,7 @@ func (m *CSR) RowCols(i int) []int32 {
 func (m *COO) ToCSR() *CSR {
 	n := len(m.Vals)
 	if n > math.MaxInt32 {
-		panic("sparse: nnz exceeds int32 range")
+		panic(fmt.Sprintf("sparse: nnz %d exceeds int32 range (max %d)", n, math.MaxInt32))
 	}
 	// Counting sort by row.
 	counts := make([]int32, m.Rows+1)
@@ -158,7 +158,7 @@ func (m *CSR) sortRowsAndDedupe() {
 // duplicates (duplicates collapse to a single 1).
 func FromAdjacency(rows, cols int, adj [][]int32) *CSR {
 	if len(adj) != rows {
-		panic("sparse: FromAdjacency row count mismatch")
+		panic(fmt.Sprintf("sparse: FromAdjacency row count mismatch: len(adj)=%d, rows=%d", len(adj), rows))
 	}
 	nnz := 0
 	for _, l := range adj {
@@ -272,7 +272,7 @@ func (m *CSR) IsSymmetric() bool {
 // diagonal position — the (A + I) transform of Eq. 1. m must be square.
 func (m *CSR) AddSelfLoops() *CSR {
 	if m.Rows != m.Cols {
-		panic("sparse: AddSelfLoops needs a square matrix")
+		panic(fmt.Sprintf("sparse: AddSelfLoops needs a square matrix, got %dx%d", m.Rows, m.Cols))
 	}
 	out := &CSR{Rows: m.Rows, Cols: m.Cols, RowPtr: make([]int32, m.Rows+1)}
 	out.ColIdx = make([]int32, 0, m.NNZ()+m.Rows)

@@ -178,7 +178,7 @@ func (f *Forest) MulTo(c, b *dense.Matrix, threads int) {
 		panic(fmt.Sprintf("staf: Mul shape mismatch %d×%d · %d×%d", f.rows, f.cols, b.Rows, b.Cols))
 	}
 	if c.Rows != f.rows || c.Cols != b.Cols {
-		panic("staf: Mul output shape mismatch")
+		panic(fmt.Sprintf("staf: Mul output shape mismatch: c is %dx%d, want %dx%d", c.Rows, c.Cols, f.rows, b.Cols))
 	}
 	// Empty rows (ending at the root) are zero.
 	for _, x := range f.rowsAt(0) {
@@ -243,7 +243,7 @@ func (f *Forest) dfs(start int32, c, b *dense.Matrix) {
 // MulVec computes y = A·v via the same traversal.
 func (f *Forest) MulVec(v []float32) []float32 {
 	if len(v) != f.cols {
-		panic("staf: MulVec shape mismatch")
+		panic(fmt.Sprintf("staf: MulVec shape mismatch: matrix is %dx%d, len(v)=%d", f.rows, f.cols, len(v)))
 	}
 	bv := dense.New(f.cols, 1)
 	copy(bv.Data, v)
