@@ -31,9 +31,15 @@ echo "==> go test $PKGS"
 go test "$PKGS"
 
 echo "==> go test -race (concurrency-heavy packages)"
-go test -race ./internal/cbm/... ./internal/parallel/... ./internal/kernels/... ./internal/oracle/...
+go test -race ./internal/cbm/... ./internal/parallel/... ./internal/kernels/... ./internal/oracle/... ./internal/obs/...
 
 echo "==> cmd/verify smoke sweep"
 go run ./cmd/verify -n 64 -sweep quick
+
+echo "==> cbmbench metrics smoke (BENCH_cbm.json)"
+go run ./cmd/cbmbench -exp bench -datasets cora -cols 16 -reps 3 -warmup 1 \
+    -bench-out BENCH_cbm.smoke.json -metrics >/dev/null
+go run ./cmd/cbmbench -check-bench BENCH_cbm.smoke.json
+rm -f BENCH_cbm.smoke.json
 
 echo "ci: OK"

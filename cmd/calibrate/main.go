@@ -14,11 +14,13 @@ import (
 	"repro/internal/bench"
 	"repro/internal/cbm"
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 func main() {
 	seed := flag.Uint64("seed", 1, "generator seed")
 	threads := flag.Int("threads", 0, "worker count (0 = GOMAXPROCS)")
+	metrics := flag.Bool("metrics", false, "dump the internal/obs metrics snapshot as JSON to stderr on exit")
 	flag.Parse()
 
 	for _, d := range bench.Registry {
@@ -51,6 +53,12 @@ func main() {
 			cc, d.Paper.ClusteringCoef,
 			r0, d.Paper.RatioAlpha0, r32, d.Paper.RatioAlpha32,
 			s0.CandidateEdges, s0.VirtualKids, build, gen)
+	}
+	if *metrics {
+		if err := obs.WriteJSON(os.Stderr); err != nil {
+			_, _ = fmt.Fprintln(os.Stderr, "calibrate: metrics:", err)
+			os.Exit(1)
+		}
 	}
 }
 

@@ -22,11 +22,12 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
 	var (
-		exps         = flag.String("exp", "all", "comma-separated experiments: table1,table2,fig2,table3,table4,table5,verify,ablation,gnnsuite,scaling,memwall,buildscale,all")
+		exps         = flag.String("exp", "all", "comma-separated experiments: table1,table2,fig2,table3,table4,table5,verify,bench,ablation,gnnsuite,scaling,memwall,buildscale,all")
 		seed         = flag.Uint64("seed", 1, "generator seed")
 		threads      = flag.Int("threads", 0, "parallel worker count (0 = GOMAXPROCS)")
 		cols         = flag.Int("cols", 128, "columns of the dense operand X (paper: 500)")
@@ -38,8 +39,34 @@ func main() {
 		list         = flag.Bool("list", false, "list registered datasets and exit")
 		verifyTrials = flag.Int("verify-trials", 5, "random operand matrices per dataset for -exp verify (paper: 50)")
 		jsonOut      = flag.String("json", "", "additionally write all results as JSON to this file")
+		benchOut     = flag.String("bench-out", "BENCH_cbm.json", "machine-readable report file for -exp bench")
+		checkBench   = flag.String("check-bench", "", "validate an existing bench report file and exit")
+		metrics      = flag.Bool("metrics", false, "dump the internal/obs metrics snapshot as JSON to stderr on exit")
+		profile      = flag.Bool("stage-labels", false, "attach pprof cbm_stage goroutine labels to instrumented regions")
 	)
 	flag.Parse()
+
+	if *checkBench != "" {
+		f, err := os.Open(*checkBench)
+		if err != nil {
+			fatalf("check-bench: %v", err)
+		}
+		_, rerr := experiments.ReadBenchReport(f)
+		if cerr := f.Close(); rerr == nil {
+			rerr = cerr
+		}
+		if rerr != nil {
+			fatalf("check-bench %s: %v", *checkBench, rerr)
+		}
+		outln("check-bench: " + *checkBench + " OK")
+		return
+	}
+	if *profile {
+		obs.EnableProfiling()
+	}
+	if *metrics {
+		defer dumpMetrics()
+	}
 
 	if *list {
 		for _, name := range bench.Names() {
@@ -149,6 +176,30 @@ func main() {
 		results["verify"] = rows
 		blankLine(w)
 	}
+	if all || selected["bench"] {
+		ran = true
+		report, err := experiments.BenchJSON(cfg)
+		if err != nil {
+			fatalf("bench: %v", err)
+		}
+		experiments.WriteBench(w, report)
+		if *benchOut != "" {
+			f, err := os.Create(*benchOut)
+			if err != nil {
+				fatalf("create %s: %v", *benchOut, err)
+			}
+			werr := experiments.WriteBenchReport(f, report)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				fatalf("write %s: %v", *benchOut, werr)
+			}
+			outln("bench report: " + *benchOut)
+		}
+		results["bench"] = report
+		blankLine(w)
+	}
 	if all || selected["table5"] {
 		ran = true
 		rows, err := experiments.Table5(cfg)
@@ -226,7 +277,23 @@ func main() {
 		}
 	}
 	if !ran {
-		fatalf("no experiment selected (got -exp %q); valid: table1,table2,fig2,table3,table4,table5,verify,ablation,gnnsuite,scaling,memwall,buildscale,all", *exps)
+		fatalf("no experiment selected (got -exp %q); valid: table1,table2,fig2,table3,table4,table5,verify,bench,ablation,gnnsuite,scaling,memwall,buildscale,all", *exps)
+	}
+}
+
+// dumpMetrics writes the obs snapshot to stderr (not stdout, so result
+// tables stay machine-separable from diagnostics).
+func dumpMetrics() {
+	if err := obs.WriteJSON(os.Stderr); err != nil {
+		fatalf("metrics: %v", err)
+	}
+}
+
+// outln writes one status line to stdout, failing loudly like the
+// table writers do.
+func outln(s string) {
+	if _, err := fmt.Println(s); err != nil {
+		fatalf("write: %v", err)
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/cbm"
+	"repro/internal/obs"
 	"repro/internal/sparse"
 )
 
@@ -29,6 +30,7 @@ func main() {
 		save    = flag.String("save", "", "write the compressed matrix to this file")
 		dot     = flag.String("dot", "", "write the compression tree as Graphviz DOT to this file")
 		hist    = flag.Bool("hist", false, "print the per-row delta histogram and branch-size distribution")
+		metrics = flag.Bool("metrics", false, "dump the internal/obs metrics snapshot as JSON to stderr on exit")
 	)
 	flag.Parse()
 
@@ -122,6 +124,11 @@ func main() {
 			fatal(err)
 		}
 		outf("saved:             %s\n", *save)
+	}
+	if *metrics {
+		if err := obs.WriteJSON(os.Stderr); err != nil {
+			fatal(err)
+		}
 	}
 }
 

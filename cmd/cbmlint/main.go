@@ -22,12 +22,14 @@ import (
 	"strings"
 
 	"repro/internal/lint"
+	"repro/internal/obs"
 )
 
 func main() {
 	var (
 		runList = flag.String("run", "", "comma-separated analyzer subset (default: all)")
 		list    = flag.Bool("list", false, "list analyzers and exit")
+		metrics = flag.Bool("metrics", false, "dump the internal/obs metrics snapshot as JSON to stderr on exit")
 	)
 	flag.Parse()
 
@@ -83,6 +85,11 @@ func main() {
 	if found > 0 {
 		outf("cbmlint: %d diagnostic(s)\n", found)
 		os.Exit(1)
+	}
+	if *metrics {
+		if err := obs.WriteJSON(os.Stderr); err != nil {
+			fatalf("metrics: %v", err)
+		}
 	}
 }
 

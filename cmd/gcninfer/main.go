@@ -14,20 +14,26 @@ import (
 	"repro/internal/cbm"
 	"repro/internal/dense"
 	"repro/internal/gnn"
+	"repro/internal/obs"
 	"repro/internal/xrand"
 )
 
 func main() {
 	var (
-		dataset = flag.String("dataset", "ca-hepph", "registered dataset analog (see cbmbench -list)")
-		alpha   = flag.Int("alpha", 4, "CBM edge-pruning threshold α")
-		threads = flag.Int("threads", 0, "worker count (0 = GOMAXPROCS)")
-		cols    = flag.Int("cols", 128, "feature/hidden/class width (paper: 500)")
-		reps    = flag.Int("reps", 5, "timing repetitions")
-		seed    = flag.Uint64("seed", 1, "generator seed")
-		train   = flag.Bool("train", false, "also run a short training loop on both backends")
+		dataset     = flag.String("dataset", "ca-hepph", "registered dataset analog (see cbmbench -list)")
+		alpha       = flag.Int("alpha", 4, "CBM edge-pruning threshold α")
+		threads     = flag.Int("threads", 0, "worker count (0 = GOMAXPROCS)")
+		cols        = flag.Int("cols", 128, "feature/hidden/class width (paper: 500)")
+		reps        = flag.Int("reps", 5, "timing repetitions")
+		seed        = flag.Uint64("seed", 1, "generator seed")
+		train       = flag.Bool("train", false, "also run a short training loop on both backends")
+		metrics     = flag.Bool("metrics", false, "dump the internal/obs metrics snapshot as JSON to stderr on exit")
+		stageLabels = flag.Bool("stage-labels", false, "tag pipeline stages with runtime/pprof labels (cbm_stage=...)")
 	)
 	flag.Parse()
+	if *stageLabels {
+		obs.EnableProfiling()
+	}
 
 	d, err := bench.Get(*dataset)
 	if err != nil {
@@ -80,6 +86,12 @@ func main() {
 		outf("train 10 epochs CSR: %s s\n", tTrainCSR)
 		outf("train 10 epochs CBM: %s s  (%.2f×)\n",
 			tTrainCBM, tTrainCSR.Seconds()/tTrainCBM.Seconds())
+	}
+
+	if *metrics {
+		if err := obs.WriteJSON(os.Stderr); err != nil {
+			fatal(err)
+		}
 	}
 }
 

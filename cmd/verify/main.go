@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/cbm"
 	"repro/internal/dense"
+	"repro/internal/obs"
 	"repro/internal/oracle"
 	"repro/internal/xrand"
 )
@@ -43,6 +44,7 @@ func main() {
 		stress  = flag.Int("stress", 2, "concurrency stress iterations per graph (0 disables)")
 		list    = flag.Bool("list", false, "list generators and exit")
 		verbose = flag.Bool("v", false, "log every combination, not just failures")
+		metrics = flag.Bool("metrics", false, "dump the internal/obs metrics snapshot as JSON to stderr on exit")
 	)
 	flag.Parse()
 
@@ -103,6 +105,11 @@ func main() {
 	}
 	outf("verify: OK — %d kernel comparisons across %d generators, sizes %v, α %v, threads %v (%.2fs)\n",
 		combos, len(genList), sizes, alphaList, threadList, time.Since(start).Seconds())
+	if *metrics {
+		if err := obs.WriteJSON(os.Stderr); err != nil {
+			fatalf("metrics: %v", err)
+		}
+	}
 }
 
 // runGraph verifies one (generator, size) cell of the sweep and returns

@@ -1,23 +1,36 @@
 package cbm
 
 import (
-	"time"
-
+	"repro/internal/bench"
 	"repro/internal/dense"
+	"repro/internal/obs"
 	"repro/internal/xrand"
 )
 
 // TuneResult reports one α's measured behaviour during AutoTune.
 type TuneResult struct {
-	Alpha   int
+	Alpha int
+	// Seconds is the mean wall-clock time of one multiplication over
+	// the timing reps; Std is the ±σ over the same reps, so callers can
+	// tell a real winner from scheduler jitter.
 	Seconds float64
-	Ratio   float64
+	Std     float64
+	// SpMMSeconds and UpdateSeconds split the mean multiplication time
+	// into the two pipeline stages (Sec. V-A), attributed via the
+	// internal/obs span timers. Both are 0 when obs is disabled.
+	SpMMSeconds   float64
+	UpdateSeconds float64
+	// Ratio is the CSR/CBM footprint compression ratio at this α.
+	Ratio float64
 }
 
 // AutoTune picks the α that minimizes the measured AX time for this
 // matrix: it reuses one candidate pass (Builder) across the sweep,
-// times reps multiplications with a random cols-wide operand per α,
-// and returns the winner plus the whole frontier. The paper observes
+// measures reps multiplications per α through bench.Measure (one
+// warmup run, mean ± σ) with a random cols-wide operand, and returns
+// the winner plus the whole frontier. A single time.Since sample per α
+// proved jitter-prone; the repeated measurement plus the recorded Std
+// and per-stage split make the decision auditable. The paper observes
 // that the best sequential α is fairly stable (≈ 4) but the parallel
 // optimum is graph-dependent — this helper is the programmatic version
 // of that tuning step.
@@ -31,6 +44,7 @@ func AutoTune(b *Builder, alphas []int, cols, reps, threads int, seed uint64) (b
 	if reps <= 0 {
 		reps = 3
 	}
+	const warmup = 1
 	rng := xrand.New(seed)
 	n := b.a.Rows
 	x := dense.New(n, cols)
@@ -44,16 +58,23 @@ func AutoTune(b *Builder, alphas []int, cols, reps, threads int, seed uint64) (b
 		if cerr != nil {
 			return nil, 0, nil, cerr
 		}
-		m.MulTo(c, x, threads) // warmup
-		start := time.Now()
-		for r := 0; r < reps; r++ {
-			m.MulTo(c, x, threads)
-		}
-		secs := time.Since(start).Seconds() / float64(reps)
+		// Stage deltas around the measured region attribute its time to
+		// the delta-SpMM vs. tree-update stages. Warmup runs also record
+		// spans, so the divisor is every call inside the region.
+		_, spmm0 := obs.StageTotals(obs.StageSpMM)
+		_, upd0 := obs.StageTotals(obs.StageUpdate)
+		tm := bench.Measure(reps, warmup, func() { m.MulTo(c, x, threads) })
+		_, spmm1 := obs.StageTotals(obs.StageSpMM)
+		_, upd1 := obs.StageTotals(obs.StageUpdate)
+		calls := float64(reps + warmup)
+		secs := tm.Seconds()
 		frontier = append(frontier, TuneResult{
-			Alpha:   alpha,
-			Seconds: secs,
-			Ratio:   float64(csrBytes) / float64(m.FootprintBytes()),
+			Alpha:         alpha,
+			Seconds:       secs,
+			Std:           tm.Std.Seconds(),
+			SpMMSeconds:   float64(spmm1-spmm0) / 1e9 / calls,
+			UpdateSeconds: float64(upd1-upd0) / 1e9 / calls,
+			Ratio:         float64(csrBytes) / float64(m.FootprintBytes()),
 		})
 		if bestTime < 0 || secs < bestTime {
 			bestTime = secs

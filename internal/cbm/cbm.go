@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/sparse"
 )
@@ -110,7 +111,9 @@ func NewBuilder(a *sparse.CSR, opt Options) (*Builder, error) {
 		return nil, err
 	}
 	start := time.Now()
+	sp := obs.Begin(obs.StageCandidates)
 	cand, pairs := buildCandidates(a, opt.Threads, opt.MaxCandidates, nil)
+	sp.End()
 	return &Builder{
 		a:       a,
 		cand:    cand,
@@ -125,6 +128,9 @@ func (b *Builder) Compress(alpha int, forceMCA bool) (*Matrix, BuildStats, error
 	if alpha < 0 {
 		return nil, BuildStats{}, fmt.Errorf("cbm: alpha must be ≥ 0, got %d", alpha)
 	}
+	obs.Inc(obs.CounterCompressions)
+	sp := obs.Begin(obs.StageCompress)
+	defer sp.End()
 	n := b.a.Rows
 	stats := BuildStats{Alpha: alpha, CandidateTime: b.candDur, IntersectingPairs: b.pairs}
 

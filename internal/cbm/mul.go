@@ -23,8 +23,17 @@ import (
 	"repro/internal/blas"
 	"repro/internal/dense"
 	"repro/internal/kernels"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
+
+// kindPanicMsg builds the panic text for an unhandled matrix kind in a
+// kernel switch. It lives out of line so //cbm:hotpath bodies keep an
+// allocation-free success path, and it carries the offending kind and
+// dimensions so the report needs no round-trip.
+func kindPanicMsg(k Kind, n int) string {
+	return fmt.Sprintf("cbm: unknown matrix kind %d (%v) on %d×%d matrix", int(k), k, n, n)
+}
 
 // Mul computes C = M·B sequentially and returns C.
 func (m *Matrix) Mul(b *dense.Matrix) *dense.Matrix {
@@ -51,8 +60,11 @@ func (m *Matrix) MulTo(c, b *dense.Matrix, threads int) {
 	if c.Rows != m.n || c.Cols != b.Cols {
 		panic(fmt.Sprintf("cbm: Mul output shape mismatch: got %d×%d, want %d×%d", c.Rows, c.Cols, m.n, b.Cols))
 	}
+	obs.Inc(obs.CounterMulCalls)
 	kernels.SpMMTo(c, m.delta, b, threads)
-	m.update(c, threads)
+	obs.Do(obs.StageUpdate, func() {
+		m.update(c, threads)
+	})
 }
 
 // update runs the tree-traversal stage over the finished delta product.
@@ -98,7 +110,7 @@ func (m *Matrix) updateBranch(c *dense.Matrix, branch []int32) {
 			blas.AxpbyTo(row, d[x]/d[p], c.Row(int(p)), d[x], row)
 		}
 	default:
-		panic("cbm: unknown kind")
+		panic(kindPanicMsg(m.kind, m.n))
 	}
 }
 
@@ -108,6 +120,7 @@ func (m *Matrix) MulVec(v []float32) []float32 {
 	if len(v) != m.n {
 		panic(fmt.Sprintf("cbm: MulVec shape mismatch: matrix is %dx%d, len(v)=%d", m.n, m.n, len(v)))
 	}
+	obs.Inc(obs.CounterMulVecCalls)
 	y := kernels.SpMV(m.delta, v)
 	switch m.kind {
 	case KindA, KindAD:
@@ -129,6 +142,10 @@ func (m *Matrix) MulVec(v []float32) []float32 {
 				}
 			}
 		}
+	default:
+		// Without this guard an unknown kind would skip the update stage
+		// and return the raw delta product as if it were the answer.
+		panic(kindPanicMsg(m.kind, m.n))
 	}
 	return y
 }
@@ -163,6 +180,7 @@ func (m *Matrix) MulToStrategy(c, b *dense.Matrix, threads int, strat UpdateStra
 	if c.Rows != m.n || c.Cols != b.Cols {
 		panic(fmt.Sprintf("cbm: Mul output shape mismatch: got %d×%d, want %d×%d", c.Rows, c.Cols, m.n, b.Cols))
 	}
+	obs.Inc(obs.CounterMulCalls)
 	kernels.SpMMTo(c, m.delta, b, threads)
 	if colBlock <= 0 {
 		colBlock = 64
@@ -171,13 +189,15 @@ func (m *Matrix) MulToStrategy(c, b *dense.Matrix, threads int, strat UpdateStra
 	// (branch, block) pairs are scheduled as one flat index space; the
 	// pair is recovered by division so no task slice is materialized
 	// (Property 3: the update stage allocates nothing).
-	parallel.ForDynamic(len(m.branches)*nBlocks, threads, 1, func(ti int) {
-		lo := (ti % nBlocks) * colBlock
-		hi := lo + colBlock
-		if hi > c.Cols {
-			hi = c.Cols
-		}
-		m.updateBranchCols(c, m.branches[ti/nBlocks], lo, hi)
+	obs.Do(obs.StageUpdate, func() {
+		parallel.ForDynamic(len(m.branches)*nBlocks, threads, 1, func(ti int) {
+			lo := (ti % nBlocks) * colBlock
+			hi := lo + colBlock
+			if hi > c.Cols {
+				hi = c.Cols
+			}
+			m.updateBranchCols(c, m.branches[ti/nBlocks], lo, hi)
+		})
 	})
 }
 
@@ -205,6 +225,8 @@ func (m *Matrix) updateBranchCols(c *dense.Matrix, branch []int32, lo, hi int) {
 			}
 			blas.AxpbyTo(row, d[x]/d[p], c.Row(int(p))[lo:hi], d[x], row)
 		}
+	default:
+		panic(kindPanicMsg(m.kind, m.n))
 	}
 }
 
@@ -214,6 +236,7 @@ func (m *Matrix) MulVecParallel(v []float32, threads int) []float32 {
 	if len(v) != m.n {
 		panic(fmt.Sprintf("cbm: MulVecParallel shape mismatch: matrix is %dx%d, len(v)=%d", m.n, m.n, len(v)))
 	}
+	obs.Inc(obs.CounterMulVecCalls)
 	y := make([]float32, m.n)
 	parallel.ForDynamic(m.n, threads, 128, func(i int) {
 		cols, vals := m.delta.Row(i)
@@ -240,6 +263,8 @@ func (m *Matrix) MulVecParallel(v []float32, threads int) []float32 {
 					y[x] *= d[x]
 				}
 			}
+		default:
+			panic(kindPanicMsg(m.kind, m.n))
 		}
 	}
 	if threads == 1 || len(m.branches) == 1 {

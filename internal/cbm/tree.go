@@ -128,31 +128,45 @@ func branchDecompose(parent []int32) [][]int32 {
 }
 
 // treeDepth returns the longest root-to-leaf edge count in the
-// compression tree — a diagnostic for the critical path of the update
-// stage.
+// compression tree (virtual-root edges count, so a child of the
+// virtual root has depth 1) — a diagnostic for the critical path of
+// the update stage.
+//
+// The walk is iterative: a path-shaped tree (an α = 0 chain graph) has
+// depth n, and a recursive memoized walk would need one stack frame
+// per level — a goroutine stack overflow at graph scale. Instead each
+// node climbs its parent chain twice: once up to the nearest node with
+// a known depth, then back down the same chain filling depths in, so
+// every edge is traversed O(1) times and no recursion happens.
 func treeDepth(parent []int32) int {
 	n := len(parent)
 	depth := make([]int32, n)
 	for i := range depth {
 		depth[i] = -1
 	}
-	var walk func(x int32) int32
-	walk = func(x int32) int32 {
-		if depth[x] >= 0 {
-			return depth[x]
-		}
-		p := parent[x]
-		var d int32 = 1
-		if p >= 0 {
-			d = walk(p) + 1
-		}
-		depth[x] = d
-		return d
-	}
 	max := int32(0)
 	for x := 0; x < n; x++ {
-		if d := walk(int32(x)); d > max {
+		// Climb to the nearest memoized ancestor (or the virtual root),
+		// counting the edges on the way.
+		steps := int32(0)
+		y := int32(x)
+		for y >= 0 && depth[y] < 0 {
+			y = parent[y]
+			steps++
+		}
+		base := int32(0)
+		if y >= 0 {
+			base = depth[y]
+		}
+		d := base + steps
+		if d > max {
 			max = d
+		}
+		// Second climb over the same chain records the depths top-down,
+		// so later starts terminate at the first memoized node.
+		for y = int32(x); y >= 0 && depth[y] < 0; y = parent[y] {
+			depth[y] = d
+			d--
 		}
 	}
 	return int(max)

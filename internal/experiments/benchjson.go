@@ -1,0 +1,201 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/cbm"
+	"repro/internal/dense"
+	"repro/internal/kernels"
+	"repro/internal/obs"
+	"repro/internal/xrand"
+)
+
+// BenchSchema versions the machine-readable benchmark report; bump it
+// whenever a field changes meaning, so downstream trajectory tooling
+// can reject files it does not understand.
+const BenchSchema = "cbm-bench/v1"
+
+// BenchTiming is bench.Timing flattened to seconds for JSON.
+type BenchTiming struct {
+	Reps        int     `json:"reps"`
+	MeanSeconds float64 `json:"mean_s"`
+	StdSeconds  float64 `json:"std_s"`
+}
+
+func toBenchTiming(t bench.Timing) BenchTiming {
+	return BenchTiming{Reps: t.Reps, MeanSeconds: t.Mean.Seconds(), StdSeconds: t.Std.Seconds()}
+}
+
+// BenchStageSplit attributes the mean CBM multiplication time to the
+// two pipeline stages of Sec. V-A, measured by the internal/obs span
+// timers (zero when obs is disabled).
+type BenchStageSplit struct {
+	SpMMSeconds   float64 `json:"spmm_s"`
+	UpdateSeconds float64 `json:"update_s"`
+	// SpMMFraction is spmm/(spmm+update), the headline split number.
+	SpMMFraction float64 `json:"spmm_frac"`
+}
+
+// BenchDataset is one dataset's row of the benchmark report.
+type BenchDataset struct {
+	Name             string          `json:"name"`
+	Nodes            int             `json:"nodes"`
+	Edges            int             `json:"edges"`
+	Alpha            int             `json:"alpha"`
+	CompressionRatio float64         `json:"compression_ratio"`
+	BuildSeconds     float64         `json:"build_s"`
+	CSRSpMM          BenchTiming     `json:"csr_spmm"`
+	CBMMul           BenchTiming     `json:"cbm_mul"`
+	Speedup          float64         `json:"speedup"`
+	Stages           BenchStageSplit `json:"stage_split"`
+}
+
+// BenchReport is the top-level BENCH_cbm.json document.
+type BenchReport struct {
+	Schema   string         `json:"schema"`
+	Seed     uint64         `json:"seed"`
+	Threads  int            `json:"threads"`
+	Cols     int            `json:"cols"`
+	Reps     int            `json:"reps"`
+	Warmup   int            `json:"warmup"`
+	Datasets []BenchDataset `json:"datasets"`
+}
+
+// BenchJSON runs the machine-readable benchmark: for each dataset it
+// compresses at the paper's best parallel α, measures CSR SpMM vs. CBM
+// MulTo through bench.Measure (mean ± σ), and attributes the CBM time
+// to the delta-SpMM and tree-update stages via obs span deltas. The
+// result feeds the repository's performance trajectory.
+func BenchJSON(cfg Config) (*BenchReport, error) {
+	cfg = cfg.Defaults()
+	ds, err := cfg.datasets()
+	if err != nil {
+		return nil, err
+	}
+	report := &BenchReport{
+		Schema:  BenchSchema,
+		Seed:    cfg.Seed,
+		Threads: cfg.Threads,
+		Cols:    cfg.Cols,
+		Reps:    cfg.Reps,
+		Warmup:  cfg.Warmup,
+	}
+	rng := xrand.New(cfg.Seed + 5000)
+	for _, d := range ds {
+		a := d.Generate(cfg.Seed)
+		n := a.Rows
+		alpha := d.Paper.BestAlphaPar
+
+		start := time.Now()
+		m, _, err := cbm.Compress(a, cbm.Options{Alpha: alpha, Threads: cfg.Threads})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: bench %s: %w", d.Name, err)
+		}
+		build := time.Since(start)
+
+		b := dense.New(n, cfg.Cols)
+		rng.FillUniform(b.Data)
+		c := dense.New(n, cfg.Cols)
+
+		tCSR := bench.Measure(cfg.Reps, cfg.Warmup, func() { kernels.SpMMTo(c, a, b, cfg.Threads) })
+		// Stage deltas bracket only the CBM measurement, so baseline CSR
+		// SpMM time does not pollute the split.
+		_, spmm0 := obs.StageTotals(obs.StageSpMM)
+		_, upd0 := obs.StageTotals(obs.StageUpdate)
+		tCBM := bench.Measure(cfg.Reps, cfg.Warmup, func() { m.MulTo(c, b, cfg.Threads) })
+		_, spmm1 := obs.StageTotals(obs.StageSpMM)
+		_, upd1 := obs.StageTotals(obs.StageUpdate)
+
+		calls := float64(cfg.Reps + cfg.Warmup)
+		spmmS := float64(spmm1-spmm0) / 1e9 / calls
+		updS := float64(upd1-upd0) / 1e9 / calls
+		frac := 0.0
+		if spmmS+updS > 0 {
+			frac = spmmS / (spmmS + updS)
+		}
+		speedup := math.NaN()
+		if tCBM.Seconds() > 0 {
+			speedup = tCSR.Seconds() / tCBM.Seconds()
+		}
+		report.Datasets = append(report.Datasets, BenchDataset{
+			Name:             d.Name,
+			Nodes:            n,
+			Edges:            a.NNZ() / 2,
+			Alpha:            alpha,
+			CompressionRatio: float64(a.FootprintBytes()) / float64(m.FootprintBytes()),
+			BuildSeconds:     build.Seconds(),
+			CSRSpMM:          toBenchTiming(tCSR),
+			CBMMul:           toBenchTiming(tCBM),
+			Speedup:          speedup,
+			Stages: BenchStageSplit{
+				SpMMSeconds:   spmmS,
+				UpdateSeconds: updS,
+				SpMMFraction:  frac,
+			},
+		})
+	}
+	return report, nil
+}
+
+// WriteBenchReport serializes the report as indented JSON.
+func WriteBenchReport(w io.Writer, r *BenchReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadBenchReport parses and structurally validates a benchmark report
+// — the check half of cbmbench's -check-bench flag, and what keeps
+// ci.sh's metrics smoke test honest.
+func ReadBenchReport(r io.Reader) (*BenchReport, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var report BenchReport
+	if err := dec.Decode(&report); err != nil {
+		return nil, fmt.Errorf("experiments: decoding bench report: %w", err)
+	}
+	if report.Schema != BenchSchema {
+		return nil, fmt.Errorf("experiments: bench report schema %q, want %q", report.Schema, BenchSchema)
+	}
+	if len(report.Datasets) == 0 {
+		return nil, fmt.Errorf("experiments: bench report has no datasets")
+	}
+	for _, d := range report.Datasets {
+		if d.Name == "" || d.Nodes <= 0 {
+			return nil, fmt.Errorf("experiments: bench report entry %+v is incomplete", d)
+		}
+		if d.CBMMul.MeanSeconds <= 0 || d.CSRSpMM.MeanSeconds <= 0 {
+			return nil, fmt.Errorf("experiments: bench report entry %s has non-positive timings", d.Name)
+		}
+	}
+	return &report, nil
+}
+
+// WriteBench renders the report as a human-readable table (the stdout
+// companion of the JSON file).
+func WriteBench(w io.Writer, r *BenchReport) {
+	t := &bench.Table{Header: []string{
+		"Graph", "Alpha", "ratio", "CSR SpMM", "CBM Mul", "spd",
+		"spmm_s", "update_s", "spmm%",
+	}}
+	for _, d := range r.Datasets {
+		t.AddRow(d.Name,
+			fmt.Sprintf("%d", d.Alpha),
+			fmt.Sprintf("%.2f", d.CompressionRatio),
+			fmt.Sprintf("%.4f (± %.4f)", d.CSRSpMM.MeanSeconds, d.CSRSpMM.StdSeconds),
+			fmt.Sprintf("%.4f (± %.4f)", d.CBMMul.MeanSeconds, d.CBMMul.StdSeconds),
+			fmt.Sprintf("%.2f", d.Speedup),
+			fmt.Sprintf("%.4f", d.Stages.SpMMSeconds),
+			fmt.Sprintf("%.4f", d.Stages.UpdateSeconds),
+			fmt.Sprintf("%.0f%%", 100*d.Stages.SpMMFraction),
+		)
+	}
+	fmt.Fprintf(w, "Bench — machine-readable per-dataset timings (threads=%d cols=%d reps=%d)\n",
+		r.Threads, r.Cols, r.Reps)
+	fmt.Fprint(w, t.String())
+}

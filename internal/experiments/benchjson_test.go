@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestBenchJSONRoundTrip(t *testing.T) {
+	obs.Enable()
+	cfg := Config{Seed: 1, Threads: 2, Cols: 8, Reps: 2, Warmup: 1, Datasets: []string{"cora"}}
+	r, err := BenchJSON(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Schema != BenchSchema || len(r.Datasets) != 1 {
+		t.Fatalf("report shape: schema=%q datasets=%d", r.Schema, len(r.Datasets))
+	}
+	d := r.Datasets[0]
+	if d.Name != "cora" || d.Nodes <= 0 || d.Edges <= 0 {
+		t.Fatalf("dataset row incomplete: %+v", d)
+	}
+	if d.CBMMul.MeanSeconds <= 0 || d.CSRSpMM.MeanSeconds <= 0 {
+		t.Fatalf("non-positive timings: %+v", d)
+	}
+	if d.CBMMul.Reps != 2 {
+		t.Fatalf("reps = %d, want 2", d.CBMMul.Reps)
+	}
+	// obs is enabled, so the split must attribute real time to both
+	// stages and the fraction must be a sane ratio.
+	if d.Stages.SpMMSeconds <= 0 || d.Stages.UpdateSeconds <= 0 {
+		t.Fatalf("stage split empty with obs enabled: %+v", d.Stages)
+	}
+	if d.Stages.SpMMFraction <= 0 || d.Stages.SpMMFraction >= 1 {
+		t.Fatalf("spmm fraction %v out of (0,1)", d.Stages.SpMMFraction)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteBenchReport(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBenchReport(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Datasets[0] != d {
+		t.Fatalf("round-trip mismatch:\n got %+v\nwant %+v", back.Datasets[0], d)
+	}
+
+	var tbl bytes.Buffer
+	WriteBench(&tbl, r)
+	if !strings.Contains(tbl.String(), "cora") {
+		t.Fatalf("table rendering missing dataset:\n%s", tbl.String())
+	}
+}
+
+func TestReadBenchReportRejectsBadDocuments(t *testing.T) {
+	for name, doc := range map[string]string{
+		"wrong schema": `{"schema":"nope/v9","datasets":[{"name":"x","nodes":1}]}`,
+		"no datasets":  `{"schema":"cbm-bench/v1","datasets":[]}`,
+		"not json":     `{`,
+		"unknown keys": `{"schema":"cbm-bench/v1","bogus":1,"datasets":[]}`,
+	} {
+		if _, err := ReadBenchReport(strings.NewReader(doc)); err == nil {
+			t.Fatalf("%s: accepted", name)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package gnn
 
 import (
 	"repro/internal/dense"
+	"repro/internal/obs"
 	"repro/internal/xrand"
 )
 
@@ -24,6 +25,8 @@ func NewGCN2(inFeatures, hidden, classes int, seed uint64) *GCN2 {
 // Infer runs the forward pass on backend a with the given thread
 // count and returns the output logits (n×classes).
 func (g *GCN2) Infer(a Adjacency, x *dense.Matrix, threads int) *dense.Matrix {
+	sp := obs.Begin(obs.StageInfer)
+	defer sp.End()
 	h := g.L0.Forward(a, x, threads).ReLU()
 	return g.L1.Forward(a, h, threads)
 }
@@ -31,6 +34,8 @@ func (g *GCN2) Infer(a Adjacency, x *dense.Matrix, threads int) *dense.Matrix {
 // InferStack runs an arbitrary stack of GCN layers with ReLU between
 // them (none after the last) — used by the deeper-model ablation.
 func InferStack(layers []*GCNConv, a Adjacency, x *dense.Matrix, threads int) *dense.Matrix {
+	sp := obs.Begin(obs.StageInfer)
+	defer sp.End()
 	h := x
 	for i, l := range layers {
 		h = l.Forward(a, h, threads)

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/blas"
 	"repro/internal/dense"
+	"repro/internal/obs"
 	"repro/internal/xrand"
 )
 
@@ -54,6 +55,9 @@ func NewGCNConv(in, out int, rng *xrand.RNG) *GCNConv {
 // evaluation order (two dense-dense + two sparse-dense products for a
 // two-layer net).
 func (c *GCNConv) Forward(a Adjacency, x *dense.Matrix, threads int) *dense.Matrix {
+	sp := obs.Begin(obs.StageLayer)
+	defer sp.End()
+	obs.Inc(obs.CounterLayerForwards)
 	xw := c.Lin.Forward(x, threads)
 	out := dense.New(a.Rows(), xw.Cols)
 	a.MulTo(out, xw, threads)
@@ -79,6 +83,9 @@ func NewGINConv(in, hidden, out int, eps float32, rng *xrand.RNG) *GINConv {
 
 // Forward computes the GIN aggregation followed by the MLP.
 func (c *GINConv) Forward(a Adjacency, x *dense.Matrix, threads int) *dense.Matrix {
+	sp := obs.Begin(obs.StageLayer)
+	defer sp.End()
+	obs.Inc(obs.CounterLayerForwards)
 	agg := dense.New(a.Rows(), x.Cols)
 	a.MulTo(agg, x, threads)
 	// agg += (1+eps)·x
@@ -105,6 +112,9 @@ func NewSAGEConv(in, out int, rng *xrand.RNG) *SAGEConv {
 
 // Forward computes the GraphSAGE update.
 func (c *SAGEConv) Forward(a Adjacency, x *dense.Matrix, threads int) *dense.Matrix {
+	sp := obs.Begin(obs.StageLayer)
+	defer sp.End()
+	obs.Inc(obs.CounterLayerForwards)
 	agg := dense.New(a.Rows(), x.Cols)
 	a.MulTo(agg, x, threads)
 	h := c.Self.Forward(x, threads)

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/blas"
 	"repro/internal/dense"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/sparse"
 )
@@ -49,8 +50,11 @@ func SpMMTo(c *dense.Matrix, s *sparse.CSR, b *dense.Matrix, threads int) {
 	if grain < 16 {
 		grain = 16
 	}
-	parallel.ForDynamic(s.Rows, threads, grain, func(i int) {
-		spmmRow(c, s, b, i)
+	obs.Inc(obs.CounterSpMMCalls)
+	obs.Do(obs.StageSpMM, func() {
+		parallel.ForDynamic(s.Rows, threads, grain, func(i int) {
+			spmmRow(c, s, b, i)
+		})
 	})
 }
 

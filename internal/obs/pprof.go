@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"context"
+	"runtime/pprof"
+	"sync/atomic"
+)
+
+// Profiling labels are off by default: pprof.Do costs a goroutine-label
+// swap per region, which is noise-free for CPU profiles but not for
+// nanosecond timers. Turn them on only when a CPU profile is being
+// collected.
+var profiling atomic.Bool
+
+// labelSets holds one pre-built label set per stage so Do never
+// allocates labels on the hot path.
+var labelSets [numStages]pprof.LabelSet
+
+func init() {
+	for s := Stage(0); s < numStages; s++ {
+		labelSets[s] = pprof.Labels("cbm_stage", s.String())
+	}
+}
+
+// EnableProfiling attaches a cbm_stage goroutine label to every region
+// run through Do. Worker goroutines spawned inside the region (the
+// internal/parallel loops) inherit the label, so CPU profile samples
+// attribute to branch-update vs. multiplication work.
+func EnableProfiling() { profiling.Store(true) }
+
+// DisableProfiling stops labelling regions (the default).
+func DisableProfiling() { profiling.Store(false) }
+
+// ProfilingEnabled reports whether stage labels are being applied.
+func ProfilingEnabled() bool { return profiling.Load() }
+
+// Do runs f as one occurrence of stage s: a span records its duration,
+// and — when profiling labels are on — the goroutine (and every worker
+// it forks) carries the stage's pprof label for the duration. With
+// recording disabled, Do is a single atomic load plus the call.
+func Do(s Stage, f func()) {
+	if disabled.Load() {
+		f()
+		return
+	}
+	sp := Begin(s)
+	if profiling.Load() {
+		pprof.Do(context.Background(), labelSets[s], func(context.Context) { f() })
+	} else {
+		f()
+	}
+	sp.End()
+}

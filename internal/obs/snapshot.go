@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// StageSnapshot is the exported state of one stage timer.
+type StageSnapshot struct {
+	// Count is how many spans of this stage completed.
+	Count int64 `json:"count"`
+	// TotalNS is the summed wall-clock time across those spans in
+	// nanoseconds. Concurrent spans overlap, so totals can exceed
+	// elapsed process time.
+	TotalNS int64 `json:"total_ns"`
+	// MeanNS is TotalNS/Count (0 when Count is 0).
+	MeanNS int64 `json:"mean_ns"`
+}
+
+// Snapshot is a point-in-time export of every stage and counter — the
+// schema behind the cmd tools' -metrics flag. Stage and counter names
+// key the maps, so the JSON stays readable and stable as enums grow.
+type Snapshot struct {
+	Enabled  bool                     `json:"enabled"`
+	Stages   map[string]StageSnapshot `json:"stages"`
+	Counters map[string]int64         `json:"counters"`
+}
+
+// TakeSnapshot reads all accumulators. Each value is an independent
+// atomic load: the snapshot is not a global atomic cut, which is fine
+// for the reporting use it serves.
+func TakeSnapshot() Snapshot {
+	s := Snapshot{
+		Enabled:  Enabled(),
+		Stages:   make(map[string]StageSnapshot, int(numStages)),
+		Counters: make(map[string]int64, int(numCounters)),
+	}
+	for st := Stage(0); st < numStages; st++ {
+		count, nanos := StageTotals(st)
+		mean := int64(0)
+		if count > 0 {
+			mean = nanos / count
+		}
+		s.Stages[st.String()] = StageSnapshot{Count: count, TotalNS: nanos, MeanNS: mean}
+	}
+	for c := Counter(0); c < numCounters; c++ {
+		s.Counters[c.String()] = CounterValue(c)
+	}
+	return s
+}
+
+// WriteJSON writes the current snapshot to w as indented JSON (map keys
+// sort, so output is deterministic for a fixed state).
+func WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(TakeSnapshot())
+}
