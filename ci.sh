@@ -33,8 +33,14 @@ go test "$PKGS"
 echo "==> go test -race (concurrency-heavy packages)"
 go test -race ./internal/cbm/... ./internal/parallel/... ./internal/kernels/... ./internal/oracle/... ./internal/obs/...
 
+echo "==> worker-pool stress (-race, reuse + nested submits + determinism)"
+go test -race -count=1 -run 'TestPool' ./internal/parallel/
+
 echo "==> cmd/verify smoke sweep"
 go run ./cmd/verify -n 64 -sweep quick
+
+echo "==> fused vs two-stage equivalence smoke"
+go run ./cmd/verify -n 96 -gens hub,sbm -alphas 0,4 -threads 1,4,8 -stress 1
 
 echo "==> cbmbench metrics smoke (BENCH_cbm.json)"
 go run ./cmd/cbmbench -exp bench -datasets cora -cols 16 -reps 3 -warmup 1 \

@@ -64,9 +64,17 @@ func main() {
 
 	th := *threads
 	tCSR := bench.Measure(*reps, 1, func() { model.Infer(csrBackend, x, th) })
+	// Stage deltas around the CBM measurement expose which execution
+	// plan MulTo's cost model picked (fused single-pass vs two-stage).
+	fc0, fn0 := obs.StageTotals(obs.StageFused)
+	uc0, un0 := obs.StageTotals(obs.StageUpdate)
 	tCBM := bench.Measure(*reps, 1, func() { model.Infer(cbmBackend, x, th) })
+	fc1, fn1 := obs.StageTotals(obs.StageFused)
+	uc1, un1 := obs.StageTotals(obs.StageUpdate)
 	outf("inference CSR: %s s\n", tCSR)
 	outf("inference CBM: %s s\n", tCBM)
+	outf("CBM plan: fused ×%d (%.4fs), two-stage ×%d (update %.4fs)\n",
+		fc1-fc0, float64(fn1-fn0)/1e9, uc1-uc0, float64(un1-un0)/1e9)
 	outf("speedup:       %.2f×\n", tCSR.Seconds()/tCBM.Seconds())
 
 	// Correctness cross-check, the paper's 1e-5 criterion.

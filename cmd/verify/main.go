@@ -4,7 +4,8 @@
 // compares the CBM kernels against two independent reference oracles
 // (naive dense and naive CSR, both with float64 accumulation), runs the
 // metamorphic property checks (linearity, tree reconstruction, MulVec
-// consistency, update-strategy equivalence, α invariance) and a short
+// consistency, execution-plan equivalence — two-stage vs branch-column
+// vs fused single-pass, bitwise — and α invariance) and a short
 // concurrency stress round.
 //
 // The process exits 0 only when every combination agrees within

@@ -39,10 +39,47 @@ func Measure(reps, warm int, f func()) Timing {
 	}
 	samples := make([]float64, reps)
 	for i := 0; i < reps; i++ {
-		start := time.Now()
-		f()
-		samples[i] = time.Since(start).Seconds()
+		samples[i] = timeOne(f)
 	}
+	return summarize(samples)
+}
+
+// MeasurePaired measures two alternatives under identical conditions:
+// each round times one run of f and one of g, alternating which goes
+// first, so slow drift (thermal throttling, background load) biases
+// neither side. Measuring them with two separate Measure calls instead
+// lets minutes-apart machine state masquerade as a kernel difference —
+// exactly the artifact a fused-vs-two-stage comparison must not have.
+func MeasurePaired(reps, warm int, f, g func()) (Timing, Timing) {
+	if reps < 1 {
+		reps = 1
+	}
+	for i := 0; i < warm; i++ {
+		f()
+		g()
+	}
+	fs := make([]float64, reps)
+	gs := make([]float64, reps)
+	for i := 0; i < reps; i++ {
+		if i%2 == 0 {
+			fs[i] = timeOne(f)
+			gs[i] = timeOne(g)
+		} else {
+			gs[i] = timeOne(g)
+			fs[i] = timeOne(f)
+		}
+	}
+	return summarize(fs), summarize(gs)
+}
+
+func timeOne(f func()) float64 {
+	start := time.Now()
+	f()
+	return time.Since(start).Seconds()
+}
+
+func summarize(samples []float64) Timing {
+	reps := len(samples)
 	mean := 0.0
 	for _, s := range samples {
 		mean += s

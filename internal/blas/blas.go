@@ -1,8 +1,12 @@
 // Package blas provides the small set of single-precision vector
 // kernels the CBM multiplication pipeline is built from. They stand in
 // for the Intel MKL routines (axpy and friends) the paper uses: plain
-// Go loops, manually unrolled by eight so the compiler can keep the
-// accumulators in registers and bounds checks are hoisted.
+// Go loops, manually unrolled by eight — with a four-wide step before
+// the scalar tail, so remainders shorter than a full unroll still run
+// mostly vectorized — so the compiler can keep the accumulators in
+// registers and bounds checks are hoisted. The unrolls never reorder
+// or reassociate per-element operations, so results are bitwise
+// identical to the plain loop.
 package blas
 
 import "fmt"
@@ -33,6 +37,15 @@ func Axpy(a float32, x, y []float32) {
 		ys[6] += a * xs[6]
 		ys[7] += a * xs[7]
 	}
+	if i+4 <= len(x) {
+		xs := x[i : i+4 : i+4]
+		ys := y[i : i+4 : i+4]
+		ys[0] += a * xs[0]
+		ys[1] += a * xs[1]
+		ys[2] += a * xs[2]
+		ys[3] += a * xs[3]
+		i += 4
+	}
 	for ; i < len(x); i++ {
 		y[i] += a * x[i]
 	}
@@ -58,6 +71,15 @@ func Add(x, y []float32) {
 		ys[5] += xs[5]
 		ys[6] += xs[6]
 		ys[7] += xs[7]
+	}
+	if i+4 <= len(x) {
+		xs := x[i : i+4 : i+4]
+		ys := y[i : i+4 : i+4]
+		ys[0] += xs[0]
+		ys[1] += xs[1]
+		ys[2] += xs[2]
+		ys[3] += xs[3]
+		i += 4
 	}
 	for ; i < len(x); i++ {
 		y[i] += x[i]
@@ -87,6 +109,16 @@ func AxpbyTo(dst []float32, a float32, x []float32, b float32, y []float32) {
 		ds[6] = a*xs[6] + b*ys[6]
 		ds[7] = a*xs[7] + b*ys[7]
 	}
+	if i+4 <= len(x) {
+		xs := x[i : i+4 : i+4]
+		ys := y[i : i+4 : i+4]
+		ds := dst[i : i+4 : i+4]
+		ds[0] = a*xs[0] + b*ys[0]
+		ds[1] = a*xs[1] + b*ys[1]
+		ds[2] = a*xs[2] + b*ys[2]
+		ds[3] = a*xs[3] + b*ys[3]
+		i += 4
+	}
 	for ; i < len(x); i++ {
 		dst[i] = a*x[i] + b*y[i]
 	}
@@ -107,6 +139,14 @@ func Scal(a float32, x []float32) {
 		xs[5] *= a
 		xs[6] *= a
 		xs[7] *= a
+	}
+	if i+4 <= len(x) {
+		xs := x[i : i+4 : i+4]
+		xs[0] *= a
+		xs[1] *= a
+		xs[2] *= a
+		xs[3] *= a
+		i += 4
 	}
 	for ; i < len(x); i++ {
 		x[i] *= a

@@ -215,3 +215,59 @@ func TestDotSymmetryProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Every unrolled kernel has three code paths (8-wide body, 4-wide
+// mid-tail, scalar tail); lengths 0..24 exercise all residues of both
+// unroll widths, and the unrolls must not change a single bit relative
+// to the plain scalar loop.
+func TestUnrollTailsBitwiseMatchScalar(t *testing.T) {
+	rng := xrand.New(97)
+	const a, b = 1.37, -0.61
+	for n := 0; n <= 24; n++ {
+		x := randVec(rng, n)
+		y := randVec(rng, n)
+
+		wantAxpy := append([]float32(nil), y...)
+		for i := range wantAxpy {
+			wantAxpy[i] += a * x[i]
+		}
+		gotAxpy := append([]float32(nil), y...)
+		Axpy(a, x, gotAxpy)
+
+		wantAdd := append([]float32(nil), y...)
+		for i := range wantAdd {
+			wantAdd[i] += x[i]
+		}
+		gotAdd := append([]float32(nil), y...)
+		Add(x, gotAdd)
+
+		wantAxpby := make([]float32, n)
+		for i := range wantAxpby {
+			wantAxpby[i] = a*x[i] + b*y[i]
+		}
+		gotAxpby := make([]float32, n)
+		AxpbyTo(gotAxpby, a, x, b, y)
+
+		wantScal := append([]float32(nil), x...)
+		for i := range wantScal {
+			wantScal[i] *= a
+		}
+		gotScal := append([]float32(nil), x...)
+		Scal(a, gotScal)
+
+		for i := 0; i < n; i++ {
+			if math.Float32bits(gotAxpy[i]) != math.Float32bits(wantAxpy[i]) {
+				t.Fatalf("n=%d Axpy[%d]: %v != %v", n, i, gotAxpy[i], wantAxpy[i])
+			}
+			if math.Float32bits(gotAdd[i]) != math.Float32bits(wantAdd[i]) {
+				t.Fatalf("n=%d Add[%d]: %v != %v", n, i, gotAdd[i], wantAdd[i])
+			}
+			if math.Float32bits(gotAxpby[i]) != math.Float32bits(wantAxpby[i]) {
+				t.Fatalf("n=%d AxpbyTo[%d]: %v != %v", n, i, gotAxpby[i], wantAxpby[i])
+			}
+			if math.Float32bits(gotScal[i]) != math.Float32bits(wantScal[i]) {
+				t.Fatalf("n=%d Scal[%d]: %v != %v", n, i, gotScal[i], wantScal[i])
+			}
+		}
+	}
+}

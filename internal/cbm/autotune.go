@@ -17,9 +17,13 @@ type TuneResult struct {
 	Std     float64
 	// SpMMSeconds and UpdateSeconds split the mean multiplication time
 	// into the two pipeline stages (Sec. V-A), attributed via the
-	// internal/obs span timers. Both are 0 when obs is disabled.
+	// internal/obs span timers; FusedSeconds is the mean time MulTo
+	// spent in the fused single-pass plan instead (its cost model picks
+	// per call, so a mix of plans is possible within one α). All are 0
+	// when obs is disabled.
 	SpMMSeconds   float64
 	UpdateSeconds float64
+	FusedSeconds  float64
 	// Ratio is the CSR/CBM footprint compression ratio at this α.
 	Ratio float64
 }
@@ -59,13 +63,17 @@ func AutoTune(b *Builder, alphas []int, cols, reps, threads int, seed uint64) (b
 			return nil, 0, nil, cerr
 		}
 		// Stage deltas around the measured region attribute its time to
-		// the delta-SpMM vs. tree-update stages. Warmup runs also record
-		// spans, so the divisor is every call inside the region.
+		// the delta-SpMM vs. tree-update stages (or the fused single
+		// pass, when MulTo's cost model picks that plan). Warmup runs
+		// also record spans, so the divisor is every call inside the
+		// region.
 		_, spmm0 := obs.StageTotals(obs.StageSpMM)
 		_, upd0 := obs.StageTotals(obs.StageUpdate)
+		_, fus0 := obs.StageTotals(obs.StageFused)
 		tm := bench.Measure(reps, warmup, func() { m.MulTo(c, x, threads) })
 		_, spmm1 := obs.StageTotals(obs.StageSpMM)
 		_, upd1 := obs.StageTotals(obs.StageUpdate)
+		_, fus1 := obs.StageTotals(obs.StageFused)
 		calls := float64(reps + warmup)
 		secs := tm.Seconds()
 		frontier = append(frontier, TuneResult{
@@ -74,6 +82,7 @@ func AutoTune(b *Builder, alphas []int, cols, reps, threads int, seed uint64) (b
 			Std:           tm.Std.Seconds(),
 			SpMMSeconds:   float64(spmm1-spmm0) / 1e9 / calls,
 			UpdateSeconds: float64(upd1-upd0) / 1e9 / calls,
+			FusedSeconds:  float64(fus1-fus0) / 1e9 / calls,
 			Ratio:         float64(csrBytes) / float64(m.FootprintBytes()),
 		})
 		if bestTime < 0 || secs < bestTime {

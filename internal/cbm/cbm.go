@@ -10,6 +10,7 @@ package cbm
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/obs"
@@ -88,6 +89,40 @@ type Matrix struct {
 	parent   []int32     // parent row per row; −1 = virtual root
 	branches [][]int32   // pre-order node lists of the root's subtrees
 	diag     []float32   // DAD only: the diagonal d
+
+	// Cost-guided scheduling metadata for the fused kernel, precomputed
+	// once per compression (initSchedule). Costs are in per-column
+	// units: processing branch i touches branchCost[i]·cols scalars
+	// (one axpy row per delta nnz plus one parent update per node).
+	branchCost []int64 // per-branch fused cost: Σ delta row nnz + |branch|
+	branchLPT  []int32 // branch indices sorted by descending cost (LPT order)
+	totalCost  int64   // Σ branchCost
+	maxCost    int64   // max branchCost — the fused critical path
+}
+
+// initSchedule precomputes the fused kernel's cost model: per-branch
+// costs, the longest-processing-time-first claim order, and the
+// aggregate/critical-path totals the MulTo strategy heuristic reads.
+// Costs depend only on the delta matrix's sparsity structure, so the
+// scaled views (AD, DAD) share them with their KindA base.
+func (m *Matrix) initSchedule() {
+	m.branchCost = make([]int64, len(m.branches))
+	m.branchLPT = make([]int32, len(m.branches))
+	for bi, branch := range m.branches {
+		cost := int64(len(branch))
+		for _, x := range branch {
+			cost += int64(m.delta.RowNNZ(int(x)))
+		}
+		m.branchCost[bi] = cost
+		m.branchLPT[bi] = int32(bi)
+		m.totalCost += cost
+		if cost > m.maxCost {
+			m.maxCost = cost
+		}
+	}
+	sort.SliceStable(m.branchLPT, func(i, j int) bool {
+		return m.branchCost[m.branchLPT[i]] > m.branchCost[m.branchLPT[j]]
+	})
 }
 
 // Builder caches the α-independent candidate graph so a single AAᵀ
@@ -171,6 +206,7 @@ func (b *Builder) Compress(alpha int, forceMCA bool) (*Matrix, BuildStats, error
 		parent:   parent,
 		branches: branchDecompose(parent),
 	}
+	m.initSchedule()
 	return m, stats, nil
 }
 
@@ -342,11 +378,15 @@ func (m *Matrix) WithColumnScale(d []float32) *Matrix {
 		panic(fmt.Sprintf("cbm: diagonal length mismatch: len(d)=%d, want %d", len(d), m.n))
 	}
 	return &Matrix{
-		n:        m.n,
-		kind:     KindAD,
-		delta:    m.delta.ScaleCols(d),
-		parent:   m.parent,
-		branches: m.branches,
+		n:          m.n,
+		kind:       KindAD,
+		delta:      m.delta.ScaleCols(d),
+		parent:     m.parent,
+		branches:   m.branches,
+		branchCost: m.branchCost,
+		branchLPT:  m.branchLPT,
+		totalCost:  m.totalCost,
+		maxCost:    m.maxCost,
 	}
 }
 
@@ -363,12 +403,16 @@ func (m *Matrix) WithSymmetricScale(d []float32) *Matrix {
 	dc := make([]float32, len(d))
 	copy(dc, d)
 	return &Matrix{
-		n:        m.n,
-		kind:     KindDAD,
-		delta:    m.delta.ScaleCols(d),
-		parent:   m.parent,
-		branches: m.branches,
-		diag:     dc,
+		n:          m.n,
+		kind:       KindDAD,
+		delta:      m.delta.ScaleCols(d),
+		parent:     m.parent,
+		branches:   m.branches,
+		diag:       dc,
+		branchCost: m.branchCost,
+		branchLPT:  m.branchLPT,
+		totalCost:  m.totalCost,
+		maxCost:    m.maxCost,
 	}
 }
 
@@ -388,12 +432,16 @@ func (m *Matrix) WithScales(left, right []float32) *Matrix {
 	lc := make([]float32, len(left))
 	copy(lc, left)
 	return &Matrix{
-		n:        m.n,
-		kind:     KindDAD,
-		delta:    m.delta.ScaleCols(right),
-		parent:   m.parent,
-		branches: m.branches,
-		diag:     lc,
+		n:          m.n,
+		kind:       KindDAD,
+		delta:      m.delta.ScaleCols(right),
+		parent:     m.parent,
+		branches:   m.branches,
+		diag:       lc,
+		branchCost: m.branchCost,
+		branchLPT:  m.branchLPT,
+		totalCost:  m.totalCost,
+		maxCost:    m.maxCost,
 	}
 }
 

@@ -105,6 +105,7 @@ func CompressClustered(a *sparse.CSR, opt Options, copt ClusterOptions) (*Matrix
 		parent:   parent,
 		branches: branchDecompose(parent),
 	}
+	m.initSchedule()
 	return m, stats, cstats, nil
 }
 

@@ -1,0 +1,197 @@
+package cbm
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/dense"
+	"repro/internal/synth"
+	"repro/internal/xrand"
+)
+
+// The fused single-pass kernel performs the same per-element float
+// operations in the same order as the two-stage plan (delta product,
+// then parent update, parents before children), so its output must be
+// bitwise equal to StrategyBranch for every kind, thread count, and
+// column width — including widths that straddle the fusedColTile
+// boundary, where the tiling loop takes a short final tile.
+func TestFusedBitwiseMatchesBranchAllKinds(t *testing.T) {
+	rng := xrand.New(83)
+	a := synth.SBMGroups(260, 26, 0.85, 0.4, 37)
+	base, _, err := Compress(a, Options{Alpha: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := randomDiag(rng, a.Rows)
+	for name, m := range map[string]*Matrix{
+		"A":   base,
+		"AD":  base.WithColumnScale(d),
+		"DAD": base.WithSymmetricScale(d),
+	} {
+		for _, cols := range []int{1, 8, fusedColTile - 1, fusedColTile, fusedColTile + 3} {
+			b := randomDense(rng, a.Rows, cols)
+			want := dense.New(a.Rows, cols)
+			m.MulToStrategy(want, b, 1, StrategyBranch, 0)
+			for _, threads := range []int{1, 2, 4, 8} {
+				got := dense.New(a.Rows, cols)
+				m.MulToStrategy(got, b, threads, StrategyFused, 0)
+				if !got.Equal(want) {
+					t.Fatalf("%s threads=%d cols=%d: fused not bitwise equal to two-stage",
+						name, threads, cols)
+				}
+			}
+		}
+	}
+}
+
+// MulTo picks between the fused and two-stage plans on a cost model;
+// whichever it selects, the result must stay bitwise equal to the
+// explicitly forced two-stage plan.
+func TestMulToAutoDispatchBitwiseStable(t *testing.T) {
+	rng := xrand.New(89)
+	a := synth.HolmeKim(350, 3, 0.3, 53)
+	base, _, err := Compress(a, Options{Alpha: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := randomDiag(rng, a.Rows)
+	b := randomDense(rng, a.Rows, 19)
+	for name, m := range map[string]*Matrix{
+		"A":   base,
+		"AD":  base.WithColumnScale(d),
+		"DAD": base.WithSymmetricScale(d),
+	} {
+		want := dense.New(a.Rows, b.Cols)
+		m.MulToStrategy(want, b, 1, StrategyBranch, 0)
+		for _, threads := range []int{1, 2, 4, 8} {
+			got := dense.New(a.Rows, b.Cols)
+			m.MulTo(got, b, threads)
+			if !got.Equal(want) {
+				t.Fatalf("%s threads=%d: MulTo not bitwise equal to two-stage", name, threads)
+			}
+		}
+	}
+}
+
+// initSchedule must produce a permutation of the branch indices sorted
+// by descending cost, with totals matching a direct recount; the scaled
+// variants share the delta structure so they must share the schedule.
+func TestBranchScheduleInvariants(t *testing.T) {
+	a := synth.SBMGroups(300, 20, 0.8, 0.4, 61)
+	m, _, err := Compress(a, Options{Alpha: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.branchCost) != len(m.branches) || len(m.branchLPT) != len(m.branches) {
+		t.Fatalf("schedule sizes %d/%d, want %d", len(m.branchCost), len(m.branchLPT), len(m.branches))
+	}
+	var total, max int64
+	for bi, branch := range m.branches {
+		want := int64(len(branch))
+		for _, x := range branch {
+			want += int64(m.delta.RowNNZ(int(x)))
+		}
+		if m.branchCost[bi] != want {
+			t.Fatalf("branchCost[%d] = %d, want %d", bi, m.branchCost[bi], want)
+		}
+		total += want
+		if want > max {
+			max = want
+		}
+	}
+	if m.totalCost != total || m.maxCost != max {
+		t.Fatalf("totals (%d, %d), want (%d, %d)", m.totalCost, m.maxCost, total, max)
+	}
+	seen := make([]bool, len(m.branches))
+	for _, bi := range m.branchLPT {
+		if seen[bi] {
+			t.Fatalf("branch %d appears twice in LPT order", bi)
+		}
+		seen[bi] = true
+	}
+	if !sort.SliceIsSorted(m.branchLPT, func(i, j int) bool {
+		return m.branchCost[m.branchLPT[i]] > m.branchCost[m.branchLPT[j]]
+	}) {
+		t.Fatal("branchLPT not sorted by descending cost")
+	}
+	d := randomDiag(xrand.New(5), a.Rows)
+	for name, scaled := range map[string]*Matrix{
+		"AD":  m.WithColumnScale(d),
+		"DAD": m.WithSymmetricScale(d),
+	} {
+		if scaled.totalCost != m.totalCost || scaled.maxCost != m.maxCost ||
+			len(scaled.branchLPT) != len(m.branchLPT) {
+			t.Fatalf("%s: scaled variant lost the schedule", name)
+		}
+	}
+}
+
+// The cost model must always fuse at one thread (fusion only removes a
+// barrier there) and must refuse when one branch dominates the total
+// (its owner would serialize the whole multiply).
+func TestFusedProfitableHeuristic(t *testing.T) {
+	a := synth.SBMGroups(200, 20, 0.8, 0.4, 71)
+	m, _, err := Compress(a, Options{Alpha: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.fusedProfitable(1) {
+		t.Fatal("threads=1 must always pick the fused plan")
+	}
+	// Forged schedules pin the decision boundary exactly.
+	forge := func(costs ...int64) *Matrix {
+		f := &Matrix{branches: make([][]int32, len(costs)), branchCost: costs,
+			branchLPT: make([]int32, len(costs))}
+		for _, c := range costs {
+			f.totalCost += c
+			if c > f.maxCost {
+				f.maxCost = c
+			}
+		}
+		return f
+	}
+	if forge(10, 10, 10, 10).fusedProfitable(8) {
+		t.Fatal("fewer branches than threads must fall back to the two-stage plan")
+	}
+	if forge(50, 10, 10, 10, 10, 10, 10, 10).fusedProfitable(4) {
+		t.Fatal("dominated schedule (max·threads > total) must fall back")
+	}
+	if !forge(10, 10, 10, 10, 10, 10, 10, 10).fusedProfitable(4) {
+		t.Fatal("balanced schedule with enough branches must fuse")
+	}
+}
+
+// An out-of-range strategy value must fail loudly, not silently fall
+// through to some default plan.
+func TestMulToStrategyUnknownPanics(t *testing.T) {
+	a := paperFig1Matrix()
+	m, _, err := Compress(a, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic for unknown strategy")
+		}
+		msg, ok := r.(string)
+		if !ok || !contains(msg, "unknown update strategy") {
+			t.Fatalf("panic = %v, want unknown-strategy message", r)
+		}
+	}()
+	m.MulToStrategy(dense.New(a.Rows, 2), dense.New(a.Rows, 2), 1, UpdateStrategy(42), 0)
+}
+
+func TestUpdateStrategyString(t *testing.T) {
+	cases := map[UpdateStrategy]string{
+		StrategyBranch:       "branch",
+		StrategyBranchColumn: "branch-column",
+		StrategyFused:        "fused",
+		UpdateStrategy(9):    "UpdateStrategy(9)",
+	}
+	for s, want := range cases {
+		if got := s.String(); got != want {
+			t.Fatalf("String(%d) = %q, want %q", int(s), got, want)
+		}
+	}
+}

@@ -52,6 +52,15 @@ func (m *Matrix) MulParallel(b *dense.Matrix, threads int) *dense.Matrix {
 
 // MulTo computes c = M·b into the pre-allocated output c (overwritten).
 //
+// It selects between two physically different but bitwise-identical
+// execution plans: the paper's two-stage pipeline (whole-matrix delta
+// SpMM, barrier, tree update) and the fused single-pass kernel (per
+// branch, each row's delta product is followed immediately by its
+// parent update — see mulFused). The fused plan wins when the branch
+// forest offers enough balanced parallelism to keep the workers busy
+// without the row-level parallel slack of the SpMM stage; the
+// fusedProfitable cost model decides per call.
+//
 //cbm:hotpath
 func (m *Matrix) MulTo(c, b *dense.Matrix, threads int) {
 	if b.Rows != m.n {
@@ -61,10 +70,42 @@ func (m *Matrix) MulTo(c, b *dense.Matrix, threads int) {
 		panic(fmt.Sprintf("cbm: Mul output shape mismatch: got %d×%d, want %d×%d", c.Rows, c.Cols, m.n, b.Cols))
 	}
 	obs.Inc(obs.CounterMulCalls)
+	t := parallel.EffectiveThreads(threads, m.n)
+	if m.fusedProfitable(t) {
+		m.mulFused(c, b, t)
+		return
+	}
+	m.mulTwoStage(c, b, threads)
+}
+
+// mulTwoStage is the paper's Sec. V-A pipeline: delta SpMM over every
+// row, full barrier, then the branch-parallel tree update.
+//
+//cbm:hotpath
+func (m *Matrix) mulTwoStage(c, b *dense.Matrix, threads int) {
 	kernels.SpMMTo(c, m.delta, b, threads)
 	obs.Do(obs.StageUpdate, func() {
 		m.update(c, threads)
 	})
+}
+
+// fusedProfitable reports whether the fused single-pass plan can match
+// the two-stage plan's parallelism. Fused parallelism is branch-level
+// only, so it needs (a) at least one branch per worker and (b) no
+// branch dominating the forest: by the classic LPT bound the fused
+// makespan is ≤ totalCost/threads + maxCost, so requiring
+// maxCost ≤ totalCost/threads keeps the schedule within 2× of the
+// perfectly balanced optimum while the locality win from skipping the
+// inter-stage barrier pays for the slack. Sequentially (threads ≤ 1)
+// fusion is a pure locality win and is always chosen.
+func (m *Matrix) fusedProfitable(threads int) bool {
+	if threads <= 1 {
+		return true
+	}
+	if len(m.branches) < threads || len(m.branchLPT) != len(m.branches) {
+		return false
+	}
+	return m.maxCost*int64(threads) <= m.totalCost
 }
 
 // update runs the tree-traversal stage over the finished delta product.
@@ -150,30 +191,48 @@ func (m *Matrix) MulVec(v []float32) []float32 {
 	return y
 }
 
-// UpdateStrategy selects how the update stage is parallelized — used by
-// the ablation benchmarks; MulTo always uses StrategyBranch.
+// UpdateStrategy selects how the multiply is scheduled — used by the
+// ablation benchmarks and the differential-verification sweeps; MulTo
+// picks between StrategyBranch and StrategyFused on its own cost model.
 type UpdateStrategy int
 
 const (
-	// StrategyBranch distributes whole root subtrees to threads
-	// (the paper's scheme).
+	// StrategyBranch is the paper's two-stage scheme: whole-matrix
+	// delta SpMM, barrier, then whole root subtrees distributed to
+	// threads for the update.
 	StrategyBranch UpdateStrategy = iota
 	// StrategyBranchColumn additionally splits B's columns into
 	// blocks, scheduling (branch, block) pairs: more parallel slack
 	// for trees with few heavy branches, at the cost of traversing
 	// each branch once per block.
 	StrategyBranchColumn
+	// StrategyFused fuses both stages into one pass per branch: each
+	// row's delta product is immediately followed by its parent
+	// update, with no inter-stage barrier, column tiling for wide
+	// operands and longest-processing-time-first branch scheduling.
+	StrategyFused
 )
 
-// MulToStrategy is MulTo with an explicit update-stage strategy and,
-// for StrategyBranchColumn, the column block width (0 picks 64).
+func (s UpdateStrategy) String() string {
+	switch s {
+	case StrategyBranch:
+		return "branch"
+	case StrategyBranchColumn:
+		return "branch-column"
+	case StrategyFused:
+		return "fused"
+	default:
+		return fmt.Sprintf("UpdateStrategy(%d)", int(s))
+	}
+}
+
+// MulToStrategy is MulTo with an explicit execution plan (no cost-model
+// auto-selection) and, for StrategyBranchColumn, the column block width
+// (0 picks 64). All strategies produce bitwise-identical results; only
+// the work partitioning differs.
 //
 //cbm:hotpath
 func (m *Matrix) MulToStrategy(c, b *dense.Matrix, threads int, strat UpdateStrategy, colBlock int) {
-	if strat == StrategyBranch {
-		m.MulTo(c, b, threads)
-		return
-	}
 	if b.Rows != m.n {
 		panic(fmt.Sprintf("cbm: Mul shape mismatch: %d×%d · %d×%d", m.n, m.n, b.Rows, b.Cols))
 	}
@@ -181,6 +240,18 @@ func (m *Matrix) MulToStrategy(c, b *dense.Matrix, threads int, strat UpdateStra
 		panic(fmt.Sprintf("cbm: Mul output shape mismatch: got %d×%d, want %d×%d", c.Rows, c.Cols, m.n, b.Cols))
 	}
 	obs.Inc(obs.CounterMulCalls)
+	switch strat {
+	case StrategyBranch:
+		m.mulTwoStage(c, b, threads)
+		return
+	case StrategyFused:
+		m.mulFused(c, b, parallel.EffectiveThreads(threads, m.n))
+		return
+	case StrategyBranchColumn:
+		// handled below
+	default:
+		panic(strategyPanicMsg(strat, m.n))
+	}
 	kernels.SpMMTo(c, m.delta, b, threads)
 	if colBlock <= 0 {
 		colBlock = 64
@@ -199,6 +270,109 @@ func (m *Matrix) MulToStrategy(c, b *dense.Matrix, threads int, strat UpdateStra
 			m.updateBranchCols(c, m.branches[ti/nBlocks], lo, hi)
 		})
 	})
+}
+
+// strategyPanicMsg builds the panic text for an unknown strategy, out
+// of line for the same hotalloc reason as kindPanicMsg.
+func strategyPanicMsg(s UpdateStrategy, n int) string {
+	return fmt.Sprintf("cbm: unknown update strategy %d (%v) on %d×%d matrix", int(s), s, n, n)
+}
+
+// fusedColTile is the column tile width of the fused kernel. Wide
+// operands are processed tile by tile so the working set of one tree
+// step — the child's row segment, its parent's row segment and the
+// delta-touched B row segments — stays cache-resident; 256 float32
+// columns is 1 KiB per row segment. Per-element operation order is
+// column-independent, so tiling never changes a result bit.
+const fusedColTile = 256
+
+// mulFused is the fused single-pass multiply (StrategyFused): branches
+// are claimed in precomputed longest-processing-time-first order so the
+// heaviest subtree never lands last on a worker, and each branch is
+// processed in one pass — every row's delta product immediately
+// followed by its parent axpy (Eq. 6 scaling for DAD), with no barrier
+// between the stages, so the freshly computed delta rows are still
+// cache-hot when the update reads them. Per-branch, per-row and
+// per-element operation order is identical to the two-stage plan, so
+// results are bitwise equal to StrategyBranch. Property 3 holds: no
+// scratch beyond C is touched.
+//
+//cbm:hotpath
+func (m *Matrix) mulFused(c, b *dense.Matrix, threads int) {
+	// Branch workers are pure CPU: a team larger than the machine's
+	// parallelism only adds context switches, and the claim order and
+	// results are identical for any team size, so cap it. (The two-stage
+	// plan keeps the caller's count untouched — its row-chunk scheduling
+	// semantics predate this kernel.)
+	if g := parallel.DefaultThreads(); threads > g {
+		threads = g
+	}
+	obs.Do(obs.StageFused, func() {
+		order := m.branchLPT
+		if threads == 1 || len(m.branches) == 1 || len(order) != len(m.branches) {
+			// Sequential (or order-less, e.g. hand-built test matrices):
+			// claim order is irrelevant, walk branches directly.
+			for _, branch := range m.branches {
+				m.fusedBranch(c, b, branch)
+			}
+			return
+		}
+		parallel.ForDynamic(len(order), threads, 1, func(k int) {
+			m.fusedBranch(c, b, m.branches[order[k]])
+		})
+	})
+}
+
+// fusedBranch runs the fused pass over one root subtree, tiling the
+// operand's columns so wide B keeps the working set cache-resident.
+//
+//cbm:hotpath
+func (m *Matrix) fusedBranch(c, b *dense.Matrix, branch []int32) {
+	if c.Cols <= fusedColTile {
+		m.fusedBranchCols(c, b, branch, 0, c.Cols)
+		return
+	}
+	for lo := 0; lo < c.Cols; lo += fusedColTile {
+		hi := lo + fusedColTile
+		if hi > c.Cols {
+			hi = c.Cols
+		}
+		m.fusedBranchCols(c, b, branch, lo, hi)
+	}
+}
+
+// fusedBranchCols is the fused pass restricted to columns [lo, hi):
+// nodes arrive in pre-order, so each parent's row segment is finished
+// (delta product + its own update) before any child reads it.
+//
+//cbm:hotpath
+func (m *Matrix) fusedBranchCols(c, b *dense.Matrix, branch []int32, lo, hi int) {
+	switch m.kind {
+	case KindA, KindAD:
+		for _, x := range branch {
+			row := c.Row(int(x))[lo:hi]
+			kernels.SpMMRowSegment(row, m.delta, b, int(x), lo, hi)
+			if p := m.parent[x]; p >= 0 {
+				blas.Add(c.Row(int(p))[lo:hi], row)
+			}
+		}
+	case KindDAD:
+		d := m.diag
+		for _, x := range branch {
+			row := c.Row(int(x))[lo:hi]
+			kernels.SpMMRowSegment(row, m.delta, b, int(x), lo, hi)
+			p := m.parent[x]
+			if p < 0 {
+				// Eq. 6 with a virtual parent: u_x = d_x · ((AD)'B)_x.
+				blas.Scal(d[x], row)
+				continue
+			}
+			// u_x = d_x·(u_p/d_p + ((AD)'B)_x), fused into one pass.
+			blas.AxpbyTo(row, d[x]/d[p], c.Row(int(p))[lo:hi], d[x], row)
+		}
+	default:
+		panic(kindPanicMsg(m.kind, m.n))
+	}
 }
 
 // updateBranchCols is updateBranch restricted to columns [lo, hi).

@@ -17,8 +17,10 @@ import (
 
 // BenchSchema versions the machine-readable benchmark report; bump it
 // whenever a field changes meaning, so downstream trajectory tooling
-// can reject files it does not understand.
-const BenchSchema = "cbm-bench/v1"
+// can reject files it does not understand. v2 added the explicit
+// two-stage vs fused execution-plan timings (cbm_two_stage, cbm_fused,
+// fused_speedup, fused_s).
+const BenchSchema = "cbm-bench/v2"
 
 // BenchTiming is bench.Timing flattened to seconds for JSON.
 type BenchTiming struct {
@@ -33,26 +35,37 @@ func toBenchTiming(t bench.Timing) BenchTiming {
 
 // BenchStageSplit attributes the mean CBM multiplication time to the
 // two pipeline stages of Sec. V-A, measured by the internal/obs span
-// timers (zero when obs is disabled).
+// timers (zero when obs is disabled). SpMMSeconds/UpdateSeconds come
+// from the forced two-stage run; FusedSeconds is the span of the
+// forced fused single-pass run.
 type BenchStageSplit struct {
 	SpMMSeconds   float64 `json:"spmm_s"`
 	UpdateSeconds float64 `json:"update_s"`
+	FusedSeconds  float64 `json:"fused_s"`
 	// SpMMFraction is spmm/(spmm+update), the headline split number.
 	SpMMFraction float64 `json:"spmm_frac"`
 }
 
-// BenchDataset is one dataset's row of the benchmark report.
+// BenchDataset is one dataset's row of the benchmark report. CBMMul is
+// the production entry point (MulTo, cost-model plan selection);
+// CBMTwoStage and CBMFused force the respective plans so the report
+// isolates what the fusion itself buys.
 type BenchDataset struct {
-	Name             string          `json:"name"`
-	Nodes            int             `json:"nodes"`
-	Edges            int             `json:"edges"`
-	Alpha            int             `json:"alpha"`
-	CompressionRatio float64         `json:"compression_ratio"`
-	BuildSeconds     float64         `json:"build_s"`
-	CSRSpMM          BenchTiming     `json:"csr_spmm"`
-	CBMMul           BenchTiming     `json:"cbm_mul"`
-	Speedup          float64         `json:"speedup"`
-	Stages           BenchStageSplit `json:"stage_split"`
+	Name             string      `json:"name"`
+	Nodes            int         `json:"nodes"`
+	Edges            int         `json:"edges"`
+	Alpha            int         `json:"alpha"`
+	CompressionRatio float64     `json:"compression_ratio"`
+	BuildSeconds     float64     `json:"build_s"`
+	CSRSpMM          BenchTiming `json:"csr_spmm"`
+	CBMMul           BenchTiming `json:"cbm_mul"`
+	CBMTwoStage      BenchTiming `json:"cbm_two_stage"`
+	CBMFused         BenchTiming `json:"cbm_fused"`
+	// Speedup is CSR SpMM over CBM MulTo; FusedSpeedup is the forced
+	// two-stage plan over the forced fused plan (> 1 means fusion wins).
+	Speedup      float64         `json:"speedup"`
+	FusedSpeedup float64         `json:"fused_speedup"`
+	Stages       BenchStageSplit `json:"stage_split"`
 }
 
 // BenchReport is the top-level BENCH_cbm.json document.
@@ -103,17 +116,26 @@ func BenchJSON(cfg Config) (*BenchReport, error) {
 		c := dense.New(n, cfg.Cols)
 
 		tCSR := bench.Measure(cfg.Reps, cfg.Warmup, func() { kernels.SpMMTo(c, a, b, cfg.Threads) })
-		// Stage deltas bracket only the CBM measurement, so baseline CSR
-		// SpMM time does not pollute the split.
+		tCBM := bench.Measure(cfg.Reps, cfg.Warmup, func() { m.MulTo(c, b, cfg.Threads) })
+		// The two forced plans are measured paired (alternating rounds)
+		// so machine drift cannot masquerade as a plan difference. One
+		// stage bracket covers both: the plans record disjoint stages
+		// (spmm+update vs fused), so attribution stays clean.
 		_, spmm0 := obs.StageTotals(obs.StageSpMM)
 		_, upd0 := obs.StageTotals(obs.StageUpdate)
-		tCBM := bench.Measure(cfg.Reps, cfg.Warmup, func() { m.MulTo(c, b, cfg.Threads) })
+		_, fus0 := obs.StageTotals(obs.StageFused)
+		tTwoStage, tFused := bench.MeasurePaired(cfg.Reps, cfg.Warmup,
+			func() { m.MulToStrategy(c, b, cfg.Threads, cbm.StrategyBranch, 0) },
+			func() { m.MulToStrategy(c, b, cfg.Threads, cbm.StrategyFused, 0) },
+		)
 		_, spmm1 := obs.StageTotals(obs.StageSpMM)
 		_, upd1 := obs.StageTotals(obs.StageUpdate)
+		_, fus1 := obs.StageTotals(obs.StageFused)
 
 		calls := float64(cfg.Reps + cfg.Warmup)
 		spmmS := float64(spmm1-spmm0) / 1e9 / calls
 		updS := float64(upd1-upd0) / 1e9 / calls
+		fusedS := float64(fus1-fus0) / 1e9 / calls
 		frac := 0.0
 		if spmmS+updS > 0 {
 			frac = spmmS / (spmmS + updS)
@@ -121,6 +143,10 @@ func BenchJSON(cfg Config) (*BenchReport, error) {
 		speedup := math.NaN()
 		if tCBM.Seconds() > 0 {
 			speedup = tCSR.Seconds() / tCBM.Seconds()
+		}
+		fusedSpeedup := math.NaN()
+		if tFused.Seconds() > 0 {
+			fusedSpeedup = tTwoStage.Seconds() / tFused.Seconds()
 		}
 		report.Datasets = append(report.Datasets, BenchDataset{
 			Name:             d.Name,
@@ -131,10 +157,14 @@ func BenchJSON(cfg Config) (*BenchReport, error) {
 			BuildSeconds:     build.Seconds(),
 			CSRSpMM:          toBenchTiming(tCSR),
 			CBMMul:           toBenchTiming(tCBM),
+			CBMTwoStage:      toBenchTiming(tTwoStage),
+			CBMFused:         toBenchTiming(tFused),
 			Speedup:          speedup,
+			FusedSpeedup:     fusedSpeedup,
 			Stages: BenchStageSplit{
 				SpMMSeconds:   spmmS,
 				UpdateSeconds: updS,
+				FusedSeconds:  fusedS,
 				SpMMFraction:  frac,
 			},
 		})
@@ -169,7 +199,8 @@ func ReadBenchReport(r io.Reader) (*BenchReport, error) {
 		if d.Name == "" || d.Nodes <= 0 {
 			return nil, fmt.Errorf("experiments: bench report entry %+v is incomplete", d)
 		}
-		if d.CBMMul.MeanSeconds <= 0 || d.CSRSpMM.MeanSeconds <= 0 {
+		if d.CBMMul.MeanSeconds <= 0 || d.CSRSpMM.MeanSeconds <= 0 ||
+			d.CBMTwoStage.MeanSeconds <= 0 || d.CBMFused.MeanSeconds <= 0 {
 			return nil, fmt.Errorf("experiments: bench report entry %s has non-positive timings", d.Name)
 		}
 	}
@@ -181,7 +212,7 @@ func ReadBenchReport(r io.Reader) (*BenchReport, error) {
 func WriteBench(w io.Writer, r *BenchReport) {
 	t := &bench.Table{Header: []string{
 		"Graph", "Alpha", "ratio", "CSR SpMM", "CBM Mul", "spd",
-		"spmm_s", "update_s", "spmm%",
+		"2stage", "fused", "fspd", "spmm_s", "update_s", "spmm%",
 	}}
 	for _, d := range r.Datasets {
 		t.AddRow(d.Name,
@@ -190,6 +221,9 @@ func WriteBench(w io.Writer, r *BenchReport) {
 			fmt.Sprintf("%.4f (± %.4f)", d.CSRSpMM.MeanSeconds, d.CSRSpMM.StdSeconds),
 			fmt.Sprintf("%.4f (± %.4f)", d.CBMMul.MeanSeconds, d.CBMMul.StdSeconds),
 			fmt.Sprintf("%.2f", d.Speedup),
+			fmt.Sprintf("%.4f", d.CBMTwoStage.MeanSeconds),
+			fmt.Sprintf("%.4f", d.CBMFused.MeanSeconds),
+			fmt.Sprintf("%.2f", d.FusedSpeedup),
 			fmt.Sprintf("%.4f", d.Stages.SpMMSeconds),
 			fmt.Sprintf("%.4f", d.Stages.UpdateSeconds),
 			fmt.Sprintf("%.0f%%", 100*d.Stages.SpMMFraction),

@@ -22,15 +22,20 @@ func TestBenchJSONRoundTrip(t *testing.T) {
 	if d.Name != "cora" || d.Nodes <= 0 || d.Edges <= 0 {
 		t.Fatalf("dataset row incomplete: %+v", d)
 	}
-	if d.CBMMul.MeanSeconds <= 0 || d.CSRSpMM.MeanSeconds <= 0 {
+	if d.CBMMul.MeanSeconds <= 0 || d.CSRSpMM.MeanSeconds <= 0 ||
+		d.CBMTwoStage.MeanSeconds <= 0 || d.CBMFused.MeanSeconds <= 0 {
 		t.Fatalf("non-positive timings: %+v", d)
 	}
 	if d.CBMMul.Reps != 2 {
 		t.Fatalf("reps = %d, want 2", d.CBMMul.Reps)
 	}
+	if d.FusedSpeedup <= 0 {
+		t.Fatalf("fused speedup %v not positive", d.FusedSpeedup)
+	}
 	// obs is enabled, so the split must attribute real time to both
-	// stages and the fraction must be a sane ratio.
-	if d.Stages.SpMMSeconds <= 0 || d.Stages.UpdateSeconds <= 0 {
+	// two-stage stages and to the fused pass, and the fraction must be
+	// a sane ratio.
+	if d.Stages.SpMMSeconds <= 0 || d.Stages.UpdateSeconds <= 0 || d.Stages.FusedSeconds <= 0 {
 		t.Fatalf("stage split empty with obs enabled: %+v", d.Stages)
 	}
 	if d.Stages.SpMMFraction <= 0 || d.Stages.SpMMFraction >= 1 {
@@ -59,9 +64,10 @@ func TestBenchJSONRoundTrip(t *testing.T) {
 func TestReadBenchReportRejectsBadDocuments(t *testing.T) {
 	for name, doc := range map[string]string{
 		"wrong schema": `{"schema":"nope/v9","datasets":[{"name":"x","nodes":1}]}`,
-		"no datasets":  `{"schema":"cbm-bench/v1","datasets":[]}`,
+		"stale v1":     `{"schema":"cbm-bench/v1","datasets":[{"name":"x","nodes":1}]}`,
+		"no datasets":  `{"schema":"cbm-bench/v2","datasets":[]}`,
 		"not json":     `{`,
-		"unknown keys": `{"schema":"cbm-bench/v1","bogus":1,"datasets":[]}`,
+		"unknown keys": `{"schema":"cbm-bench/v2","bogus":1,"datasets":[]}`,
 	} {
 		if _, err := ReadBenchReport(strings.NewReader(doc)); err == nil {
 			t.Fatalf("%s: accepted", name)

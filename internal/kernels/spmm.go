@@ -45,8 +45,11 @@ func SpMMTo(c *dense.Matrix, s *sparse.CSR, b *dense.Matrix, threads int) {
 		panic(fmt.Sprintf("kernels: SpMM output shape mismatch: c is %dx%d, want %dx%d", c.Rows, c.Cols, s.Rows, b.Cols))
 	}
 	// Grain: enough rows that scheduling overhead amortizes, small
-	// enough that heavy rows don't serialize the tail.
-	grain := s.Rows / (8 * maxInt(threadsOrDefault(threads), 1))
+	// enough that heavy rows don't serialize the tail. Derived from the
+	// thread count the parallel loop will actually use — the raw request
+	// can exceed it for small matrices, which used to undersize the
+	// divisor and produce oversized grains.
+	grain := s.Rows / (8 * parallel.EffectiveThreads(threads, s.Rows))
 	if grain < 16 {
 		grain = 16
 	}
@@ -77,6 +80,45 @@ func spmmRow(c *dense.Matrix, s *sparse.CSR, b *dense.Matrix, i int) {
 	}
 }
 
+// SpMMRowSegment computes one column segment of one output row:
+// dst = (s·b)[i, lo:hi], with dst a caller-provided slice of length
+// hi−lo (typically a view of the output row). It is the building block
+// of the fused CBM kernel, which interleaves per-row delta products
+// with tree updates and tiles wide operands by column; per-element
+// operation order is identical to spmmRow, so tiled and untiled
+// results are bitwise equal.
+//
+//cbm:hotpath
+func SpMMRowSegment(dst []float32, s *sparse.CSR, b *dense.Matrix, i, lo, hi int) {
+	if lo < 0 || hi > b.Cols || len(dst) != hi-lo {
+		panic(fmt.Sprintf("kernels: SpMMRowSegment bad segment [%d,%d) of %d cols into len(dst)=%d", lo, hi, b.Cols, len(dst)))
+	}
+	cols, vals := s.Row(i)
+	blas.Fill(dst, 0)
+	for k, col := range cols {
+		seg := b.Row(int(col))[lo:hi]
+		if v := vals[k]; v == 1 {
+			blas.Add(seg, dst)
+		} else {
+			blas.Axpy(v, seg, dst)
+		}
+	}
+}
+
+func threadsOrDefault(t int) int {
+	if t < 1 {
+		return parallel.DefaultThreads()
+	}
+	return t
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
 // SpMV computes y = S·x sequentially for a dense vector x.
 func SpMV(s *sparse.CSR, x []float32) []float32 {
 	if s.Cols != len(x) {
@@ -92,18 +134,4 @@ func SpMV(s *sparse.CSR, x []float32) []float32 {
 		y[i] = acc
 	}
 	return y
-}
-
-func threadsOrDefault(t int) int {
-	if t < 1 {
-		return parallel.DefaultThreads()
-	}
-	return t
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -14,8 +14,9 @@ import (
 
 // TestConcurrentMulToRecordsConsistently drives the real instrumented
 // pipeline from many goroutines at once — the -race half of the obs
-// acceptance criteria. Every MulTo must record exactly one update span
-// and at least one spmm span, with no torn counts.
+// acceptance criteria. The two-stage plan must record exactly one
+// update span and at least one spmm span per call, the fused plan
+// exactly one fused span per call, with no torn counts.
 func TestConcurrentMulToRecordsConsistently(t *testing.T) {
 	a := synth.SBMGroups(300, 20, 0.8, 0.3, 7)
 	m, _, err := cbm.Compress(a, cbm.Options{})
@@ -26,22 +27,25 @@ func TestConcurrentMulToRecordsConsistently(t *testing.T) {
 	b := dense.New(a.Rows, 8)
 	rng.FillUniform(b.Data)
 
-	obs.Reset()
 	const goroutines, iters = 6, 10
-	var wg sync.WaitGroup
-	wg.Add(goroutines)
-	for g := 0; g < goroutines; g++ {
-		go func() {
-			defer wg.Done()
-			c := dense.New(a.Rows, 8)
-			for i := 0; i < iters; i++ {
-				m.MulTo(c, b, 2)
-			}
-		}()
-	}
-	wg.Wait()
-
 	const calls = goroutines * iters
+	run := func(strat cbm.UpdateStrategy) {
+		var wg sync.WaitGroup
+		wg.Add(goroutines)
+		for g := 0; g < goroutines; g++ {
+			go func() {
+				defer wg.Done()
+				c := dense.New(a.Rows, 8)
+				for i := 0; i < iters; i++ {
+					m.MulToStrategy(c, b, 2, strat, 0)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	obs.Reset()
+	run(cbm.StrategyBranch)
 	if v := obs.CounterValue(obs.CounterMulCalls); v != calls {
 		t.Fatalf("mul_calls = %d, want %d", v, calls)
 	}
@@ -50,6 +54,21 @@ func TestConcurrentMulToRecordsConsistently(t *testing.T) {
 	}
 	if count, nanos := obs.StageTotals(obs.StageSpMM); count != calls || nanos <= 0 {
 		t.Fatalf("spmm stage count=%d nanos=%d, want count=%d and nanos>0", count, nanos, calls)
+	}
+	if count, _ := obs.StageTotals(obs.StageFused); count != 0 {
+		t.Fatalf("fused stage count=%d after two-stage calls, want 0", count)
+	}
+
+	obs.Reset()
+	run(cbm.StrategyFused)
+	if v := obs.CounterValue(obs.CounterMulCalls); v != calls {
+		t.Fatalf("mul_calls = %d, want %d", v, calls)
+	}
+	if count, nanos := obs.StageTotals(obs.StageFused); count != calls || nanos <= 0 {
+		t.Fatalf("fused stage count=%d nanos=%d, want count=%d and nanos>0", count, nanos, calls)
+	}
+	if count, _ := obs.StageTotals(obs.StageUpdate); count != 0 {
+		t.Fatalf("update stage count=%d after fused calls, want 0", count)
 	}
 }
 

@@ -40,6 +40,10 @@ const (
 	// StageUpdate is the CBM compression-tree update traversal
 	// (stage 2 of MulTo and MulToStrategy).
 	StageUpdate
+	// StageFused is the fused single-pass CBM multiply (delta product
+	// and tree update interleaved per branch, no inter-stage barrier);
+	// when it runs, no separate spmm/update spans are recorded.
+	StageFused
 	// StageCandidates is the candidate-graph construction (the AAᵀ
 	// intersection pass of NewBuilder).
 	StageCandidates
@@ -57,6 +61,7 @@ const (
 var stageNames = [numStages]string{
 	StageSpMM:       "spmm",
 	StageUpdate:     "update",
+	StageFused:      "fused",
 	StageCandidates: "candidates",
 	StageCompress:   "compress",
 	StageLayer:      "layer",

@@ -89,10 +89,12 @@ func CheckMulVecConsistency(m *cbm.Matrix, v []float32, threads int, tol Toleran
 	return nil
 }
 
-// CheckStrategyEquivalence verifies StrategyBranchColumn is bitwise
-// identical to StrategyBranch for every (threads, colBlock) pair: both
-// strategies perform the same per-element operations in the same order,
-// only the work partitioning differs.
+// CheckStrategyEquivalence verifies every execution plan against
+// single-threaded StrategyBranch, bitwise: StrategyBranchColumn for
+// every (threads, colBlock) pair, StrategyFused for every thread count,
+// and the auto-dispatching MulTo. All plans perform the same
+// per-element operations in the same order; only the work partitioning
+// differs, so a single differing bit convicts a scheduling bug.
 func CheckStrategyEquivalence(m *cbm.Matrix, b *dense.Matrix, threadsList, colBlocks []int) error {
 	want := dense.New(m.Rows(), b.Cols)
 	m.MulToStrategy(want, b, 1, cbm.StrategyBranch, 0)
@@ -102,8 +104,18 @@ func CheckStrategyEquivalence(m *cbm.Matrix, b *dense.Matrix, threadsList, colBl
 			m.MulToStrategy(got, b, threads, cbm.StrategyBranchColumn, blk)
 			if !got.Equal(want) {
 				d := Compare(got, want, Tolerance{})
-				return fmt.Errorf("strategy equivalence (threads=%d colBlock=%d): %w", threads, blk, d)
+				return fmt.Errorf("strategy equivalence (branch-column, threads=%d colBlock=%d): %w", threads, blk, d)
 			}
+		}
+		m.MulToStrategy(got, b, threads, cbm.StrategyFused, 0)
+		if !got.Equal(want) {
+			d := Compare(got, want, Tolerance{})
+			return fmt.Errorf("strategy equivalence (fused, threads=%d): %w", threads, d)
+		}
+		m.MulTo(got, b, threads)
+		if !got.Equal(want) {
+			d := Compare(got, want, Tolerance{})
+			return fmt.Errorf("strategy equivalence (auto MulTo, threads=%d): %w", threads, d)
 		}
 	}
 	return nil

@@ -37,10 +37,11 @@ func (c StressConfig) normalized() StressConfig {
 }
 
 // StressMatrix runs cfg.Iters rounds in which MulParallel,
-// MulToStrategy(StrategyBranchColumn) and MulVecParallel execute
-// concurrently on m with independently randomized thread counts and
-// column-block widths, each checked bitwise against the sequential
-// result. The first discrepancy is returned.
+// MulToStrategy(StrategyBranchColumn), MulToStrategy(StrategyFused) and
+// MulVecParallel execute concurrently on m with independently
+// randomized thread counts and column-block widths, each checked
+// bitwise against the sequential result. The first discrepancy is
+// returned.
 func StressMatrix(m *cbm.Matrix, b *dense.Matrix, v []float32, cfg StressConfig) error {
 	cfg = cfg.normalized()
 	rng := xrand.New(cfg.Seed)
@@ -50,8 +51,9 @@ func StressMatrix(m *cbm.Matrix, b *dense.Matrix, v []float32, cfg StressConfig)
 		t1 := 2 + rng.Intn(cfg.MaxThreads-1)
 		t2 := 2 + rng.Intn(cfg.MaxThreads-1)
 		t3 := 2 + rng.Intn(cfg.MaxThreads-1)
+		t4 := 2 + rng.Intn(cfg.MaxThreads-1)
 		blk := 1 + rng.Intn(b.Cols+8)
-		var e1, e2, e3 error
+		var e1, e2, e3, e4 error
 		parallel.Do(
 			func() {
 				if got := m.MulParallel(b, t1); !got.Equal(wantC) {
@@ -74,8 +76,15 @@ func StressMatrix(m *cbm.Matrix, b *dense.Matrix, v []float32, cfg StressConfig)
 					}
 				}
 			},
+			func() {
+				got := dense.New(m.Rows(), b.Cols)
+				m.MulToStrategy(got, b, t4, cbm.StrategyFused, 0)
+				if !got.Equal(wantC) {
+					e4 = fmt.Errorf("MulToStrategy(fused, threads=%d): %w", t4, Compare(got, wantC, Tolerance{}))
+				}
+			},
 		)
-		for _, err := range []error{e1, e2, e3} {
+		for _, err := range []error{e1, e2, e3, e4} {
 			if err != nil {
 				return fmt.Errorf("stress iter %d (seed %d): %w", it, cfg.Seed, err)
 			}

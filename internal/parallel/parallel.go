@@ -1,13 +1,17 @@
 // Package parallel provides shared-memory work distribution primitives
-// used throughout the repository: static and dynamic parallel loops and
-// a simple fork-join helper. They play the role OpenMP's "parallel for"
-// (static and dynamic schedules) plays in the paper's C++ implementation.
+// used throughout the repository: static and dynamic parallel loops, a
+// deterministic parallel reduction and a simple fork-join helper. They
+// play the role OpenMP's "parallel for" (static and dynamic schedules)
+// plays in the paper's C++ implementation — including OpenMP's cost
+// model: all loops execute on a persistent worker pool (see pool.go)
+// that is started once and reused for the life of the process, so a
+// parallel region costs a few atomic operations, not goroutine
+// creation.
 package parallel
 
 import (
 	"runtime"
 	"sync"
-	"sync/atomic"
 )
 
 // DefaultThreads returns the default worker count: GOMAXPROCS.
@@ -31,6 +35,16 @@ func clampThreads(threads, n int) int {
 	return threads
 }
 
+// EffectiveThreads reports the worker count a parallel call over n
+// iterations with the given requested thread count will actually use:
+// threads < 1 selects DefaultThreads(), and the result never exceeds n
+// (and is never below 1). Kernels that derive per-thread quantities —
+// e.g. the SpMM grain size — must use this, not the raw request, or
+// the two can disagree for small inputs and produce oversized grains.
+func EffectiveThreads(threads, n int) int {
+	return clampThreads(threads, n)
+}
+
 // For runs body(i) for i in [0, n) using a static block distribution
 // over the given number of threads. threads < 1 selects
 // DefaultThreads(). It corresponds to OpenMP's schedule(static).
@@ -47,26 +61,14 @@ func For(n, threads int, body func(i int)) {
 		}
 		return
 	}
-	var wg sync.WaitGroup
 	chunk := (n + threads - 1) / threads
-	for t := 0; t < threads; t++ {
-		lo := t * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				body(i)
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
+	j := newJob()
+	j.kind = jobFor
+	j.body = body
+	j.n = n
+	j.chunk = chunk
+	j.nblocks = int64((n + chunk - 1) / chunk)
+	submit(j, threads-1)
 }
 
 // ForRange runs body(lo, hi) over a static partition of [0, n) into
@@ -81,24 +83,14 @@ func ForRange(n, threads int, body func(lo, hi int)) {
 		body(0, n)
 		return
 	}
-	var wg sync.WaitGroup
 	chunk := (n + threads - 1) / threads
-	for t := 0; t < threads; t++ {
-		lo := t * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			body(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	j := newJob()
+	j.kind = jobRange
+	j.bodyRange = body
+	j.n = n
+	j.chunk = chunk
+	j.nblocks = int64((n + chunk - 1) / chunk)
+	submit(j, threads-1)
 }
 
 // ForDynamic runs body(i) for i in [0, n) with dynamic scheduling:
@@ -113,38 +105,27 @@ func ForDynamic(n, threads, grain int, body func(i int)) {
 	if grain < 1 {
 		grain = 1
 	}
-	threads = clampThreads(threads, (n+grain-1)/grain)
+	nblocks := (n + grain - 1) / grain
+	threads = clampThreads(threads, nblocks)
 	if threads == 1 {
 		for i := 0; i < n; i++ {
 			body(i)
 		}
 		return
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(threads)
-	for t := 0; t < threads; t++ {
-		go func() {
-			defer wg.Done()
-			for {
-				lo := int(next.Add(int64(grain))) - grain
-				if lo >= n {
-					return
-				}
-				hi := lo + grain
-				if hi > n {
-					hi = n
-				}
-				for i := lo; i < hi; i++ {
-					body(i)
-				}
-			}
-		}()
-	}
-	wg.Wait()
+	j := newJob()
+	j.kind = jobFor
+	j.body = body
+	j.n = n
+	j.chunk = grain
+	j.nblocks = int64(nblocks)
+	submit(j, threads-1)
 }
 
 // Do runs the given functions concurrently and waits for all of them.
+// Unlike the loop primitives, Do guarantees every function its own
+// goroutine (they may synchronize with each other), so it does not go
+// through the worker pool, where a busy moment would serialize them.
 func Do(fns ...func()) {
 	if len(fns) == 1 {
 		fns[0]()
@@ -164,9 +145,11 @@ func Do(fns ...func()) {
 // Reduce computes a parallel reduction over [0, n): each worker folds
 // its block with body into a fresh accumulator obtained from zero(),
 // and the per-worker results are combined left-to-right with merge.
-// merge must be associative; worker results are merged in block order,
-// so non-commutative merges (e.g. float summation order) remain
-// deterministic for a fixed thread count.
+// merge must be associative; block boundaries are fixed by the static
+// partition and worker results are merged in block order, so
+// non-commutative merges (e.g. float summation order) remain
+// deterministic for a fixed thread count no matter which pool workers
+// execute the blocks.
 func Reduce[T any](n, threads int, zero func() T, body func(acc T, i int) T, merge func(a, b T) T) T {
 	if n <= 0 {
 		return zero()
@@ -179,33 +162,24 @@ func Reduce[T any](n, threads int, zero func() T, body func(acc T, i int) T, mer
 		}
 		return acc
 	}
-	parts := make([]T, threads)
-	var wg sync.WaitGroup
 	chunk := (n + threads - 1) / threads
-	used := 0
-	for t := 0; t < threads; t++ {
-		lo := t * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
+	nblocks := (n + chunk - 1) / chunk
+	parts := make([]T, nblocks)
+	j := newJob()
+	j.kind = jobRange
+	j.bodyRange = func(lo, hi int) {
+		acc := zero()
+		for i := lo; i < hi; i++ {
+			acc = body(acc, i)
 		}
-		if lo >= hi {
-			break
-		}
-		used++
-		wg.Add(1)
-		go func(t, lo, hi int) {
-			defer wg.Done()
-			acc := zero()
-			for i := lo; i < hi; i++ {
-				acc = body(acc, i)
-			}
-			parts[t] = acc
-		}(t, lo, hi)
+		parts[lo/chunk] = acc
 	}
-	wg.Wait()
+	j.n = n
+	j.chunk = chunk
+	j.nblocks = int64(nblocks)
+	submit(j, threads-1)
 	acc := parts[0]
-	for t := 1; t < used; t++ {
+	for t := 1; t < nblocks; t++ {
 		acc = merge(acc, parts[t])
 	}
 	return acc
