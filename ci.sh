@@ -31,16 +31,25 @@ echo "==> go test $PKGS"
 go test "$PKGS"
 
 echo "==> go test -race (concurrency-heavy packages)"
-go test -race ./internal/cbm/... ./internal/parallel/... ./internal/kernels/... ./internal/oracle/... ./internal/obs/...
+go test -race ./internal/cbm/... ./internal/parallel/... ./internal/kernels/... ./internal/oracle/... ./internal/obs/... ./internal/exec/... ./internal/gnn/...
 
 echo "==> worker-pool stress (-race, reuse + nested submits + determinism)"
 go test -race -count=1 -run 'TestPool' ./internal/parallel/
+
+echo "==> engine race stress (-race, concurrent serving vs sequential reference)"
+go test -race -count=1 -run 'TestEngine' ./internal/gnn/
+
+echo "==> zero-alloc smoke (arena + forward path + engine steady state)"
+go test -count=1 -run 'ZeroAlloc|TestArenaSteadyState|TestSAGEBatchAllocs' ./internal/exec/ ./internal/gnn/
 
 echo "==> cmd/verify smoke sweep"
 go run ./cmd/verify -n 64 -sweep quick
 
 echo "==> fused vs two-stage equivalence smoke"
 go run ./cmd/verify -n 96 -gens hub,sbm -alphas 0,4 -threads 1,4,8 -stress 1
+
+echo "==> cmd/gcnserve smoke (concurrent engine under load)"
+go run ./cmd/gcnserve -dataset cora -cols 16 -classes 4 -concurrency 4 -requests 5 >/dev/null
 
 echo "==> cbmbench metrics smoke (BENCH_cbm.json)"
 go run ./cmd/cbmbench -exp bench -datasets cora -cols 16 -reps 3 -warmup 1 \

@@ -9,6 +9,7 @@ package bench
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 	"time"
 )
@@ -99,6 +100,32 @@ func summarize(samples []float64) Timing {
 		Mean: time.Duration(mean * float64(time.Second)),
 		Std:  time.Duration(std * float64(time.Second)),
 	}
+}
+
+// Summarize reduces raw samples (seconds) to a Timing — the mean ± σ
+// reduction Measure applies, exported for callers that collect their
+// own samples (e.g. per-request latencies under concurrency).
+func Summarize(samples []float64) Timing { return summarize(samples) }
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of the samples using
+// nearest-rank on a sorted copy — the estimator behind the serving
+// p50/p99 latency numbers. It panics on an empty sample set, because
+// a latency report silently built from nothing is a lie.
+func Quantile(samples []float64, q float64) float64 {
+	if len(samples) == 0 {
+		panic(fmt.Sprintf("bench: Quantile(%.3f) of 0 samples", q))
+	}
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("bench: Quantile q=%v outside [0,1]", q))
+	}
+	sorted := make([]float64, len(samples))
+	copy(sorted, samples)
+	sort.Float64s(sorted)
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return sorted[idx]
 }
 
 // Table renders rows of cells as a fixed-width text table with a

@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/blas"
 	"repro/internal/dense"
+	"repro/internal/exec"
 	"repro/internal/kernels"
 	"repro/internal/obs"
 	"repro/internal/parallel"
@@ -78,12 +79,39 @@ func (m *Matrix) MulTo(c, b *dense.Matrix, threads int) {
 	m.mulTwoStage(c, b, threads)
 }
 
+// MulToCtx is MulTo driven by an execution context: the thread budget
+// comes from ctx instead of a bare parameter. It is the entry point
+// the gnn Adjacency backends use on the pooled forward path.
+//
+//cbm:hotpath
+func (m *Matrix) MulToCtx(ctx *exec.Ctx, c, b *dense.Matrix) {
+	m.MulTo(c, b, ctx.Threads())
+}
+
+// MulToStrategyCtx is MulToStrategy driven by an execution context.
+//
+//cbm:hotpath
+func (m *Matrix) MulToStrategyCtx(ctx *exec.Ctx, c, b *dense.Matrix, strat UpdateStrategy, colBlock int) {
+	m.MulToStrategy(c, b, ctx.Threads(), strat, colBlock)
+}
+
 // mulTwoStage is the paper's Sec. V-A pipeline: delta SpMM over every
 // row, full barrier, then the branch-parallel tree update.
 //
 //cbm:hotpath
 func (m *Matrix) mulTwoStage(c, b *dense.Matrix, threads int) {
 	kernels.SpMMTo(c, m.delta, b, threads)
+	// Closure-free sequential fast path: the obs.Do closure allocates
+	// at this call site even when the update then runs inline, which
+	// the zero-allocation serving path cannot afford.
+	if parallel.Sequential(threads, len(m.branches)) {
+		sp := obs.Begin(obs.StageUpdate)
+		for _, branch := range m.branches {
+			m.updateBranch(c, branch)
+		}
+		sp.End()
+		return
+	}
 	obs.Do(obs.StageUpdate, func() {
 		m.update(c, threads)
 	})
@@ -307,16 +335,20 @@ func (m *Matrix) mulFused(c, b *dense.Matrix, threads int) {
 	if g := parallel.DefaultThreads(); threads > g {
 		threads = g
 	}
-	obs.Do(obs.StageFused, func() {
-		order := m.branchLPT
-		if threads == 1 || len(m.branches) == 1 || len(order) != len(m.branches) {
-			// Sequential (or order-less, e.g. hand-built test matrices):
-			// claim order is irrelevant, walk branches directly.
-			for _, branch := range m.branches {
-				m.fusedBranch(c, b, branch)
-			}
-			return
+	order := m.branchLPT
+	if threads == 1 || len(m.branches) == 1 || len(order) != len(m.branches) {
+		// Sequential (or order-less, e.g. hand-built test matrices):
+		// claim order is irrelevant, walk branches directly — and do it
+		// without the obs.Do closure, which would allocate at this call
+		// site even though nothing runs concurrently.
+		sp := obs.Begin(obs.StageFused)
+		for _, branch := range m.branches {
+			m.fusedBranch(c, b, branch)
 		}
+		sp.End()
+		return
+	}
+	obs.Do(obs.StageFused, func() {
 		parallel.ForDynamic(len(order), threads, 1, func(k int) {
 			m.fusedBranch(c, b, m.branches[order[k]])
 		})

@@ -61,6 +61,19 @@ func (m *Matrix) Clone() *Matrix {
 	return c
 }
 
+// CopyFrom copies o's contents into m (shapes must match) and returns
+// m — Clone for callers that already own the destination, e.g. arena
+// borrowers.
+//
+//cbm:hotpath
+func (m *Matrix) CopyFrom(o *Matrix) *Matrix {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		panic(fmt.Sprintf("dense: CopyFrom shape mismatch: %dx%d vs %dx%d", m.Rows, m.Cols, o.Rows, o.Cols))
+	}
+	copy(m.Data, o.Data)
+	return m
+}
+
 // Zero clears all elements in place.
 func (m *Matrix) Zero() {
 	for i := range m.Data {
@@ -137,23 +150,39 @@ func MulParallel(a, b *Matrix, threads int) *Matrix {
 	return c
 }
 
-// MulTo computes c = a·b into a pre-allocated c (overwritten).
+// MulTo computes c = a·b into a pre-allocated c (overwritten). The
+// sequential case runs inline without materializing the loop-body
+// closure, so single-threaded callers (the zero-allocation serving
+// path) allocate nothing.
+//
+//cbm:hotpath
 func MulTo(c, a, b *Matrix, threads int) {
 	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
 		panic(fmt.Sprintf("dense: MulTo shape mismatch: c %dx%d, a %dx%d, b %dx%d", c.Rows, c.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	c.Zero()
+	if parallel.Sequential(threads, a.Rows) {
+		mulRows(c, a, b, 0, a.Rows)
+		return
+	}
 	parallel.ForRange(a.Rows, threads, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a.Row(i)
-			crow := c.Row(i)
-			for k, av := range arow {
-				if av != 0 {
-					blas.Axpy(av, b.Row(k), crow)
-				}
+		mulRows(c, a, b, lo, hi)
+	})
+}
+
+// mulRows computes output rows [lo, hi) of c = a·b (c pre-zeroed).
+//
+//cbm:hotpath
+func mulRows(c, a, b *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		arow := a.Row(i)
+		crow := c.Row(i)
+		for k, av := range arow {
+			if av != 0 {
+				blas.Axpy(av, b.Row(k), crow)
 			}
 		}
-	})
+	}
 }
 
 // AddBiasRow adds the bias vector to every row of m in place.

@@ -268,3 +268,27 @@ func TestAddShapeMismatchPanics(t *testing.T) {
 	}()
 	New(2, 3).Add(New(3, 2))
 }
+
+func TestCopyFrom(t *testing.T) {
+	src := FromRows([][]float32{{1, 2, 3}, {4, 5, 6}})
+	dst := New(2, 3)
+	if got := dst.CopyFrom(src); got != dst {
+		t.Fatal("CopyFrom must return its receiver for chaining")
+	}
+	if !dst.Equal(src) {
+		t.Fatalf("CopyFrom result %v differs from source %v", dst.Data, src.Data)
+	}
+	dst.Set(0, 0, 99)
+	if src.At(0, 0) != 1 {
+		t.Fatal("CopyFrom shares storage")
+	}
+}
+
+func TestCopyFromShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shape mismatch accepted")
+		}
+	}()
+	New(2, 3).CopyFrom(New(3, 2))
+}

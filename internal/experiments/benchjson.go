@@ -5,13 +5,16 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 	"time"
 
 	"repro/internal/bench"
 	"repro/internal/cbm"
 	"repro/internal/dense"
+	"repro/internal/gnn"
 	"repro/internal/kernels"
 	"repro/internal/obs"
+	"repro/internal/sparse"
 	"repro/internal/xrand"
 )
 
@@ -19,8 +22,9 @@ import (
 // whenever a field changes meaning, so downstream trajectory tooling
 // can reject files it does not understand. v2 added the explicit
 // two-stage vs fused execution-plan timings (cbm_two_stage, cbm_fused,
-// fused_speedup, fused_s).
-const BenchSchema = "cbm-bench/v2"
+// fused_speedup, fused_s); v3 added end-to-end engine inference
+// latency (mean ± σ and p99 per request) under concurrency {1, 4, 8}.
+const BenchSchema = "cbm-bench/v3"
 
 // BenchTiming is bench.Timing flattened to seconds for JSON.
 type BenchTiming struct {
@@ -66,6 +70,29 @@ type BenchDataset struct {
 	Speedup      float64         `json:"speedup"`
 	FusedSpeedup float64         `json:"fused_speedup"`
 	Stages       BenchStageSplit `json:"stage_split"`
+	// Inference is the end-to-end serving comparison: per-request GCN2
+	// engine latency at each probed concurrency level.
+	Inference []BenchInference `json:"inference"`
+}
+
+// BenchLatency summarizes per-request end-to-end inference latency
+// (seconds): mean ± σ over all measured requests plus the p99 tail.
+type BenchLatency struct {
+	Requests    int     `json:"requests"`
+	MeanSeconds float64 `json:"mean_s"`
+	StdSeconds  float64 `json:"std_s"`
+	P99Seconds  float64 `json:"p99_s"`
+}
+
+// BenchInference is one concurrency level of the serving benchmark:
+// the same two-layer GCN served through gnn.Engine on the CSR and CBM
+// backends, single-threaded requests, Concurrency simultaneous
+// callers. Speedup is CSR mean latency over CBM mean latency.
+type BenchInference struct {
+	Concurrency int          `json:"concurrency"`
+	CSR         BenchLatency `json:"csr"`
+	CBM         BenchLatency `json:"cbm"`
+	Speedup     float64      `json:"speedup"`
 }
 
 // BenchReport is the top-level BENCH_cbm.json document.
@@ -148,6 +175,10 @@ func BenchJSON(cfg Config) (*BenchReport, error) {
 		if tFused.Seconds() > 0 {
 			fusedSpeedup = tTwoStage.Seconds() / tFused.Seconds()
 		}
+		inference, err := benchInference(a, alpha, cfg, rng)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: bench %s inference: %w", d.Name, err)
+		}
 		report.Datasets = append(report.Datasets, BenchDataset{
 			Name:             d.Name,
 			Nodes:            n,
@@ -167,9 +198,111 @@ func BenchJSON(cfg Config) (*BenchReport, error) {
 				FusedSeconds:  fusedS,
 				SpMMFraction:  frac,
 			},
+			Inference: inference,
 		})
 	}
 	return report, nil
+}
+
+// inferenceConcurrency are the serving concurrency levels probed by
+// the schema-v3 latency section.
+var inferenceConcurrency = [3]int{1, 4, 8}
+
+// inferenceClasses is the output width of the benchmark GCN.
+const inferenceClasses = 16
+
+// inferenceRounds caps the serving rounds per concurrency level: each
+// round fires `concurrency` simultaneous requests per backend, so the
+// sample count already scales with the level and the kernel reps would
+// make regeneration needlessly slow.
+func inferenceRounds(reps int) int {
+	if reps > 10 {
+		return 10
+	}
+	return reps
+}
+
+// benchInference measures end-to-end serving latency for one dataset:
+// a two-layer GCN (cols→cols→16) behind gnn.Engine on the CSR and the
+// CBM backend, single-threaded requests, at each probed concurrency
+// level. Both backends are driven through bench.MeasurePaired — rounds
+// alternate which backend goes first, so machine drift biases neither
+// side — while per-request latencies are collected inside the rounds
+// (warm-up rounds discarded).
+func benchInference(adj *sparse.CSR, alpha int, cfg Config, rng *xrand.RNG) ([]BenchInference, error) {
+	csrB, err := gnn.NewCSRBackend(adj)
+	if err != nil {
+		return nil, err
+	}
+	cbmB, _, err := gnn.NewCBMBackend(adj, cbm.Options{Alpha: alpha, Threads: cfg.Threads})
+	if err != nil {
+		return nil, err
+	}
+	model := gnn.NewGCN2(cfg.Cols, cfg.Cols, inferenceClasses, cfg.Seed+7000)
+	x := dense.New(adj.Rows, cfg.Cols)
+	rng.FillUniform(x.Data)
+
+	rounds := inferenceRounds(cfg.Reps)
+	warm := cfg.Warmup
+	out := make([]BenchInference, 0, len(inferenceConcurrency))
+	for _, conc := range inferenceConcurrency {
+		ec := gnn.NewEngine(model, csrB, gnn.EngineConfig{MaxInFlight: conc, Threads: 1})
+		eb := gnn.NewEngine(model, cbmB, gnn.EngineConfig{MaxInFlight: conc, Threads: 1})
+		bufs := make([]*dense.Matrix, conc)
+		for i := range bufs {
+			bufs[i] = dense.New(adj.Rows, inferenceClasses)
+		}
+		// fire launches one round: conc concurrent requests against e,
+		// returning each request's wall-clock latency.
+		fire := func(e *gnn.Engine) []float64 {
+			lats := make([]float64, conc)
+			var wg sync.WaitGroup
+			wg.Add(conc)
+			for w := 0; w < conc; w++ {
+				go func(w int) {
+					defer wg.Done()
+					start := time.Now()
+					e.InferTo(bufs[w], x)
+					lats[w] = time.Since(start).Seconds()
+				}(w)
+			}
+			wg.Wait()
+			return lats
+		}
+		var csrLat, cbmLat []float64
+		csrRound, cbmRound := 0, 0
+		bench.MeasurePaired(rounds, warm,
+			func() {
+				l := fire(ec)
+				if csrRound++; csrRound > warm {
+					csrLat = append(csrLat, l...)
+				}
+			},
+			func() {
+				l := fire(eb)
+				if cbmRound++; cbmRound > warm {
+					cbmLat = append(cbmLat, l...)
+				}
+			},
+		)
+		csr, cbmL := toBenchLatency(csrLat), toBenchLatency(cbmLat)
+		speedup := math.NaN()
+		if cbmL.MeanSeconds > 0 {
+			speedup = csr.MeanSeconds / cbmL.MeanSeconds
+		}
+		out = append(out, BenchInference{Concurrency: conc, CSR: csr, CBM: cbmL, Speedup: speedup})
+	}
+	return out, nil
+}
+
+func toBenchLatency(lat []float64) BenchLatency {
+	t := bench.Summarize(lat)
+	return BenchLatency{
+		Requests:    len(lat),
+		MeanSeconds: t.Mean.Seconds(),
+		StdSeconds:  t.Std.Seconds(),
+		P99Seconds:  bench.Quantile(lat, 0.99),
+	}
 }
 
 // WriteBenchReport serializes the report as indented JSON.
@@ -203,6 +336,17 @@ func ReadBenchReport(r io.Reader) (*BenchReport, error) {
 			d.CBMTwoStage.MeanSeconds <= 0 || d.CBMFused.MeanSeconds <= 0 {
 			return nil, fmt.Errorf("experiments: bench report entry %s has non-positive timings", d.Name)
 		}
+		if len(d.Inference) == 0 {
+			return nil, fmt.Errorf("experiments: bench report entry %s has no inference latencies", d.Name)
+		}
+		for _, inf := range d.Inference {
+			if inf.Concurrency <= 0 || inf.CSR.Requests <= 0 || inf.CBM.Requests <= 0 ||
+				inf.CSR.MeanSeconds <= 0 || inf.CBM.MeanSeconds <= 0 ||
+				inf.CSR.P99Seconds <= 0 || inf.CBM.P99Seconds <= 0 {
+				return nil, fmt.Errorf("experiments: bench report entry %s has a malformed inference block (concurrency %d)",
+					d.Name, inf.Concurrency)
+			}
+		}
 	}
 	return &report, nil
 }
@@ -232,4 +376,24 @@ func WriteBench(w io.Writer, r *BenchReport) {
 	fmt.Fprintf(w, "Bench — machine-readable per-dataset timings (threads=%d cols=%d reps=%d)\n",
 		r.Threads, r.Cols, r.Reps)
 	fmt.Fprint(w, t.String())
+
+	inf := &bench.Table{Header: []string{
+		"Graph", "conc", "CSR mean", "CSR p99", "CBM mean", "CBM p99", "spd",
+	}}
+	for _, d := range r.Datasets {
+		for _, b := range d.Inference {
+			inf.AddRow(d.Name,
+				fmt.Sprintf("%d", b.Concurrency),
+				fmt.Sprintf("%.4f (± %.4f)", b.CSR.MeanSeconds, b.CSR.StdSeconds),
+				fmt.Sprintf("%.4f", b.CSR.P99Seconds),
+				fmt.Sprintf("%.4f (± %.4f)", b.CBM.MeanSeconds, b.CBM.StdSeconds),
+				fmt.Sprintf("%.4f", b.CBM.P99Seconds),
+				fmt.Sprintf("%.2f", b.Speedup),
+			)
+		}
+	}
+	if len(inf.Rows) > 0 {
+		fmt.Fprint(w, "\nServing — per-request GCN2 engine latency (threads/request=1)\n")
+		fmt.Fprint(w, inf.String())
+	}
 }

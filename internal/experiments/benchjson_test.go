@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -41,6 +42,29 @@ func TestBenchJSONRoundTrip(t *testing.T) {
 	if d.Stages.SpMMFraction <= 0 || d.Stages.SpMMFraction >= 1 {
 		t.Fatalf("spmm fraction %v out of (0,1)", d.Stages.SpMMFraction)
 	}
+	if len(d.Inference) != len(inferenceConcurrency) {
+		t.Fatalf("inference blocks = %d, want %d", len(d.Inference), len(inferenceConcurrency))
+	}
+	for i, inf := range d.Inference {
+		if inf.Concurrency != inferenceConcurrency[i] {
+			t.Fatalf("inference[%d].Concurrency = %d, want %d", i, inf.Concurrency, inferenceConcurrency[i])
+		}
+		wantReq := inferenceRounds(cfg.Reps) * inf.Concurrency
+		if inf.CSR.Requests != wantReq || inf.CBM.Requests != wantReq {
+			t.Fatalf("inference[%d] requests = %d/%d, want %d", i, inf.CSR.Requests, inf.CBM.Requests, wantReq)
+		}
+		if inf.CSR.MeanSeconds <= 0 || inf.CBM.MeanSeconds <= 0 ||
+			inf.CSR.P99Seconds <= 0 || inf.CBM.P99Seconds <= 0 {
+			t.Fatalf("inference[%d] has non-positive latencies: %+v", i, inf)
+		}
+		if inf.CSR.P99Seconds < inf.CSR.MeanSeconds-inf.CSR.StdSeconds ||
+			inf.CBM.P99Seconds < inf.CBM.MeanSeconds-inf.CBM.StdSeconds {
+			t.Fatalf("inference[%d] p99 below mean-σ: %+v", i, inf)
+		}
+		if inf.Speedup <= 0 {
+			t.Fatalf("inference[%d] speedup %v not positive", i, inf.Speedup)
+		}
+	}
 
 	var buf bytes.Buffer
 	if err := WriteBenchReport(&buf, r); err != nil {
@@ -50,7 +74,9 @@ func TestBenchJSONRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if back.Datasets[0] != d {
+	// reflect.DeepEqual: BenchDataset carries the inference slice, so
+	// it is no longer a comparable struct.
+	if !reflect.DeepEqual(back.Datasets[0], d) {
 		t.Fatalf("round-trip mismatch:\n got %+v\nwant %+v", back.Datasets[0], d)
 	}
 
@@ -65,9 +91,12 @@ func TestReadBenchReportRejectsBadDocuments(t *testing.T) {
 	for name, doc := range map[string]string{
 		"wrong schema": `{"schema":"nope/v9","datasets":[{"name":"x","nodes":1}]}`,
 		"stale v1":     `{"schema":"cbm-bench/v1","datasets":[{"name":"x","nodes":1}]}`,
-		"no datasets":  `{"schema":"cbm-bench/v2","datasets":[]}`,
+		"stale v2":     `{"schema":"cbm-bench/v2","datasets":[{"name":"x","nodes":1}]}`,
+		"no datasets":  `{"schema":"cbm-bench/v3","datasets":[]}`,
 		"not json":     `{`,
-		"unknown keys": `{"schema":"cbm-bench/v2","bogus":1,"datasets":[]}`,
+		"unknown keys": `{"schema":"cbm-bench/v3","bogus":1,"datasets":[]}`,
+		"no inference": `{"schema":"cbm-bench/v3","datasets":[{"name":"x","nodes":1,` +
+			`"csr_spmm":{"mean_s":1},"cbm_mul":{"mean_s":1},"cbm_two_stage":{"mean_s":1},"cbm_fused":{"mean_s":1}}]}`,
 	} {
 		if _, err := ReadBenchReport(strings.NewReader(doc)); err == nil {
 			t.Fatalf("%s: accepted", name)

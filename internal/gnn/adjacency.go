@@ -11,6 +11,7 @@ package gnn
 import (
 	"repro/internal/cbm"
 	"repro/internal/dense"
+	"repro/internal/exec"
 	"repro/internal/graph"
 	"repro/internal/kernels"
 	"repro/internal/sparse"
@@ -23,6 +24,9 @@ type Adjacency interface {
 	Rows() int
 	// MulTo computes c = Â·b with the given thread count.
 	MulTo(c, b *dense.Matrix, threads int)
+	// MulToCtx computes c = Â·b with the context's thread budget — the
+	// entry point of the pooled (ForwardTo) forward path.
+	MulToCtx(ctx *exec.Ctx, c, b *dense.Matrix)
 	// FootprintBytes reports the memory the representation occupies.
 	FootprintBytes() int64
 }
@@ -41,6 +45,13 @@ func (a *CSRAdjacency) MulTo(c, b *dense.Matrix, threads int) {
 	kernels.SpMMTo(c, a.M, b, threads)
 }
 
+// MulToCtx computes c = Â·b via CSR SpMM with the context's threads.
+//
+//cbm:hotpath
+func (a *CSRAdjacency) MulToCtx(ctx *exec.Ctx, c, b *dense.Matrix) {
+	kernels.SpMMTo(c, a.M, b, ctx.Threads())
+}
+
 // FootprintBytes reports the CSR memory footprint.
 func (a *CSRAdjacency) FootprintBytes() int64 { return a.M.FootprintBytes() }
 
@@ -55,6 +66,14 @@ func (a *CBMAdjacency) Rows() int { return a.M.Rows() }
 // MulTo computes c = Â·b via the CBM two-stage kernel.
 func (a *CBMAdjacency) MulTo(c, b *dense.Matrix, threads int) {
 	a.M.MulTo(c, b, threads)
+}
+
+// MulToCtx computes c = Â·b via the CBM kernel with the context's
+// threads.
+//
+//cbm:hotpath
+func (a *CBMAdjacency) MulToCtx(ctx *exec.Ctx, c, b *dense.Matrix) {
+	a.M.MulToCtx(ctx, c, b)
 }
 
 // FootprintBytes reports the CBM memory footprint.

@@ -1,0 +1,149 @@
+package gnn
+
+import (
+	"fmt"
+
+	"repro/internal/dense"
+	"repro/internal/exec"
+	"repro/internal/obs"
+	"repro/internal/parallel"
+)
+
+// Model is a GNN whose forward pass can write its logits into a
+// caller-owned buffer through an execution context. GCN2 and GCNStack
+// implement it; Engine serves any implementation.
+type Model interface {
+	// InferTo runs the forward pass on backend a, writing the logits
+	// into out (n×OutDim). Implementations borrow scratch from ctx and
+	// release all of it before returning.
+	InferTo(ctx *exec.Ctx, out *dense.Matrix, a Adjacency, x *dense.Matrix)
+	// InDim returns the input feature width the model expects.
+	InDim() int
+	// OutDim returns the output feature width the model produces.
+	OutDim() int
+}
+
+// EngineConfig configures an Engine.
+type EngineConfig struct {
+	// MaxInFlight bounds concurrently admitted Infer requests, and with
+	// it the engine's memory: each slot owns one execution context whose
+	// arena the request leases. 0 means GOMAXPROCS.
+	MaxInFlight int
+	// Threads is the thread budget each admitted request's forward pass
+	// may use. 0 means 1 — the zero-allocation serving configuration,
+	// where parallelism comes from concurrent requests rather than from
+	// intra-request worker teams.
+	Threads int
+}
+
+// Engine is a concurrent batched-inference front-end: it owns one
+// compressed adjacency plus model weights and serves many simultaneous
+// Infer requests with bounded memory. Admission and workspace are the
+// same object — a channel of execution contexts; a request blocks
+// until a context frees, runs the pooled forward path on it, and
+// returns it. After each slot's arena has warmed (one request per
+// slot), the steady-state request path performs zero allocations (see
+// TestEngineInferZeroAlloc), and because every kernel's result is
+// invariant to its thread count, concurrent output is bitwise
+// identical to the sequential allocating path.
+type Engine struct {
+	model Model
+	adj   Adjacency
+	ctxs  chan *exec.Ctx
+}
+
+// NewEngine builds an engine serving the given model over the given
+// adjacency backend.
+func NewEngine(model Model, adj Adjacency, cfg EngineConfig) *Engine {
+	slots := cfg.MaxInFlight
+	if slots <= 0 {
+		slots = parallel.DefaultThreads()
+	}
+	threads := cfg.Threads
+	if threads <= 0 {
+		threads = 1
+	}
+	e := &Engine{model: model, adj: adj, ctxs: make(chan *exec.Ctx, slots)}
+	for i := 0; i < slots; i++ {
+		e.ctxs <- exec.New(threads)
+	}
+	return e
+}
+
+// Slots returns the configured max-in-flight request count.
+func (e *Engine) Slots() int { return cap(e.ctxs) }
+
+// Rows returns the node count of the adjacency the engine serves.
+func (e *Engine) Rows() int { return e.adj.Rows() }
+
+// OutDim returns the served model's output width.
+func (e *Engine) OutDim() int { return e.model.OutDim() }
+
+// InferTo serves one inference request, writing the logits for input
+// x (n×InDim) into the caller-owned out (n×OutDim). It blocks until
+// an execution slot frees; use TryInferTo for non-blocking admission.
+// Safe for concurrent use.
+//
+//cbm:hotpath
+func (e *Engine) InferTo(out, x *dense.Matrix) {
+	e.checkShapes(out, x)
+	ctx := <-e.ctxs
+	e.run(ctx, out, x)
+}
+
+// TryInferTo is InferTo with non-blocking admission: it reports false
+// without touching out when every execution slot is busy, letting
+// latency-sensitive callers shed load instead of queueing.
+//
+//cbm:hotpath
+func (e *Engine) TryInferTo(out, x *dense.Matrix) bool {
+	e.checkShapes(out, x)
+	select {
+	case ctx := <-e.ctxs:
+		e.run(ctx, out, x)
+		return true
+	default:
+		return false
+	}
+}
+
+// Infer is the allocating convenience wrapper around InferTo.
+func (e *Engine) Infer(x *dense.Matrix) *dense.Matrix {
+	out := dense.New(e.adj.Rows(), e.model.OutDim())
+	e.InferTo(out, x)
+	return out
+}
+
+// run executes one admitted request on its leased context.
+//
+//cbm:hotpath
+func (e *Engine) run(ctx *exec.Ctx, out, x *dense.Matrix) {
+	defer e.release(ctx)
+	sp := ctx.Begin(obs.StageEngine)
+	ctx.Inc(obs.CounterEngineInfers)
+	e.model.InferTo(ctx, out, e.adj, x)
+	sp.End()
+}
+
+// release returns a leased context to the pool, enforcing the arena
+// ownership rule: a request that exits still holding borrowed buffers
+// would hand the next tenant aliased scratch, so leaking is a panic,
+// not a warning.
+func (e *Engine) release(ctx *exec.Ctx) {
+	if n := ctx.Arena().Outstanding(); n != 0 {
+		panic(fmt.Sprintf("gnn: engine request leaked %d arena buffer(s)", n))
+	}
+	e.ctxs <- ctx
+}
+
+// checkShapes validates a request before admission, so a malformed
+// request cannot occupy (or poison) an execution slot.
+func (e *Engine) checkShapes(out, x *dense.Matrix) {
+	n := e.adj.Rows()
+	if x.Rows != n || x.Cols != e.model.InDim() {
+		panic(fmt.Sprintf("gnn: engine input is %d×%d, want %d×%d", x.Rows, x.Cols, n, e.model.InDim()))
+	}
+	if out.Rows != n || out.Cols != e.model.OutDim() {
+		panic(fmt.Sprintf("gnn: engine output is %d×%d, want %d×%d", out.Rows, out.Cols, n, e.model.OutDim()))
+	}
+}

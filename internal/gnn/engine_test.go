@@ -1,0 +1,209 @@
+package gnn
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/dense"
+	"repro/internal/exec"
+	"repro/internal/xrand"
+)
+
+// TestEngineConcurrentBitwiseIdentical is the serving-path soundness
+// check: ≥8 goroutines hammering engines over mixed models, backends
+// and batch shapes must each produce output bitwise identical to the
+// single-threaded allocating path. Run under -race (ci.sh does).
+func TestEngineConcurrentBitwiseIdentical(t *testing.T) {
+	csr, cbmB := testBackends(t, 60, 220)
+	rng := xrand.New(61)
+	n := csr.Rows()
+
+	type serveCase struct {
+		name   string
+		engine *Engine
+		x      *dense.Matrix
+		want   *dense.Matrix
+	}
+	cases := make([]serveCase, 0, 4)
+	add := func(name string, m Model, a Adjacency, inDim int, cfg EngineConfig) {
+		x := randomFeatures(rng, n, inDim)
+		var want *dense.Matrix
+		switch mm := m.(type) {
+		case *GCN2:
+			want = mm.Infer(a, x, 1)
+		case *GCNStack:
+			want = mm.Infer(a, x, 1)
+		}
+		cases = append(cases, serveCase{name, NewEngine(m, a, cfg), x, want})
+	}
+	add("gcn2/csr", NewGCN2(16, 12, 5, 62), csr, 16, EngineConfig{MaxInFlight: 3, Threads: 1})
+	add("gcn2/cbm", NewGCN2(10, 8, 4, 63), cbmB, 10, EngineConfig{MaxInFlight: 2, Threads: 1})
+	add("stack/csr", NewGCNStack([]int{6, 9, 9, 3}, 64), csr, 6, EngineConfig{MaxInFlight: 4, Threads: 1})
+	add("stack/cbm", NewGCNStack([]int{8, 5, 2}, 65), cbmB, 8, EngineConfig{MaxInFlight: 2, Threads: 1})
+
+	const workers = 8
+	const reqsPerWorker = 6
+	errc := make(chan string, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Each worker owns its output buffers, one per case; the
+			// engines below are shared by all workers.
+			outs := make([]*dense.Matrix, len(cases))
+			for i, c := range cases {
+				outs[i] = dense.New(n, c.engine.OutDim())
+			}
+			for r := 0; r < reqsPerWorker; r++ {
+				for i, c := range cases {
+					c.engine.InferTo(outs[i], c.x)
+					if !bitwiseEqual(outs[i], c.want) {
+						select {
+						case errc <- c.name:
+						default:
+						}
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	select {
+	case name := <-errc:
+		t.Fatalf("%s: concurrent InferTo differs from sequential Infer", name)
+	default:
+	}
+}
+
+// TestEngineInferZeroAlloc pins the acceptance criterion: after one
+// warm-up request per slot, a steady-state Engine.InferTo performs
+// zero allocations.
+func TestEngineInferZeroAlloc(t *testing.T) {
+	csr, _ := testBackends(t, 66, 150)
+	rng := xrand.New(67)
+	model := NewGCN2(12, 10, 4, 68)
+	e := NewEngine(model, csr, EngineConfig{MaxInFlight: 1, Threads: 1})
+	x := randomFeatures(rng, csr.Rows(), 12)
+	out := dense.New(csr.Rows(), model.OutDim())
+	e.InferTo(out, x) // warm the slot's arena
+	if allocs := testing.AllocsPerRun(50, func() {
+		e.InferTo(out, x)
+	}); allocs != 0 {
+		t.Fatalf("steady-state Engine.InferTo allocates %v times per request", allocs)
+	}
+}
+
+func TestEngineInferMatchesInferTo(t *testing.T) {
+	csr, _ := testBackends(t, 69, 100)
+	rng := xrand.New(70)
+	model := NewGCN2(8, 6, 3, 71)
+	e := NewEngine(model, csr, EngineConfig{MaxInFlight: 1, Threads: 1})
+	x := randomFeatures(rng, csr.Rows(), 8)
+	z := e.Infer(x)
+	if !bitwiseEqual(z, model.Infer(csr, x, 1)) {
+		t.Fatal("Engine.Infer differs from Model.Infer")
+	}
+	if e.Rows() != csr.Rows() || e.OutDim() != 3 || e.Slots() != 1 {
+		t.Fatalf("engine accessors: rows=%d out=%d slots=%d", e.Rows(), e.OutDim(), e.Slots())
+	}
+}
+
+func TestEngineDefaultSlots(t *testing.T) {
+	csr, _ := testBackends(t, 72, 60)
+	e := NewEngine(NewGCN2(4, 4, 2, 73), csr, EngineConfig{})
+	if e.Slots() != runtime.GOMAXPROCS(0) {
+		t.Fatalf("default slots = %d, want GOMAXPROCS = %d", e.Slots(), runtime.GOMAXPROCS(0))
+	}
+}
+
+// blockingModel parks inside InferTo until released — it lets tests
+// observe an engine with every slot busy.
+type blockingModel struct {
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (m *blockingModel) InferTo(ctx *exec.Ctx, out *dense.Matrix, a Adjacency, x *dense.Matrix) {
+	m.entered <- struct{}{}
+	<-m.release
+}
+func (m *blockingModel) InDim() int  { return 1 }
+func (m *blockingModel) OutDim() int { return 1 }
+
+func TestEngineTryInferToShedsLoadWhenSaturated(t *testing.T) {
+	csr, _ := testBackends(t, 74, 30)
+	n := csr.Rows()
+	// entered is buffered so the post-release TryInferTo at the bottom —
+	// which nothing receives from — cannot deadlock the test.
+	m := &blockingModel{entered: make(chan struct{}, 4), release: make(chan struct{})}
+	e := NewEngine(m, csr, EngineConfig{MaxInFlight: 1, Threads: 1})
+	x := dense.New(n, 1)
+	out := dense.New(n, 1)
+
+	done := make(chan struct{})
+	go func() {
+		e.InferTo(dense.New(n, 1), x)
+		close(done)
+	}()
+	<-m.entered // the single slot is now held
+	if e.TryInferTo(out, x) {
+		t.Fatal("TryInferTo admitted a request with every slot busy")
+	}
+	close(m.release)
+	<-done
+	if !e.TryInferTo(out, x) {
+		t.Fatal("TryInferTo rejected a request with a free slot")
+	}
+}
+
+// leakyModel violates the arena ownership rule on purpose.
+type leakyModel struct{}
+
+func (leakyModel) InferTo(ctx *exec.Ctx, out *dense.Matrix, a Adjacency, x *dense.Matrix) {
+	ctx.Borrow(2, 2) // never released
+}
+func (leakyModel) InDim() int  { return 1 }
+func (leakyModel) OutDim() int { return 1 }
+
+func TestEngineLeakedBufferPanics(t *testing.T) {
+	csr, _ := testBackends(t, 75, 30)
+	n := csr.Rows()
+	e := NewEngine(leakyModel{}, csr, EngineConfig{MaxInFlight: 1, Threads: 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("leaked arena buffer did not panic")
+		}
+	}()
+	e.InferTo(dense.New(n, 1), dense.New(n, 1))
+}
+
+func TestEngineRejectsMalformedRequests(t *testing.T) {
+	csr, _ := testBackends(t, 76, 40)
+	n := csr.Rows()
+	model := NewGCN2(5, 4, 2, 77)
+	e := NewEngine(model, csr, EngineConfig{MaxInFlight: 1, Threads: 1})
+	for name, call := range map[string]func(){
+		"bad input":  func() { e.InferTo(dense.New(n, 2), dense.New(n, 9)) },
+		"bad output": func() { e.InferTo(dense.New(n, 9), dense.New(n, 5)) },
+		"bad rows":   func() { e.InferTo(dense.New(n, 2), dense.New(n+1, 5)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s accepted", name)
+				}
+			}()
+			call()
+		}()
+	}
+	// Rejection happens before admission, so the slot must survive.
+	x := dense.New(n, 5)
+	out := dense.New(n, 2)
+	e.InferTo(out, x)
+	if !bitwiseEqual(out, model.Infer(csr, x, 1)) {
+		t.Fatal("engine broken after rejected requests")
+	}
+}

@@ -1,0 +1,190 @@
+package gnn
+
+import (
+	"testing"
+
+	"repro/internal/dense"
+	"repro/internal/exec"
+	"repro/internal/xrand"
+)
+
+// bitwiseEqual reports whether two matrices hold exactly the same
+// bits — the contract every ForwardTo/InferTo variant makes against
+// its allocating counterpart (same operation order, same kernels).
+func bitwiseEqual(a, b *dense.Matrix) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i, v := range a.Data {
+		if v != b.Data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestLinearForwardToBitwise(t *testing.T) {
+	rng := xrand.New(40)
+	lin := NewLinear(12, 7, true, rng)
+	x := randomFeatures(rng, 50, 12)
+	for _, threads := range []int{1, 3} {
+		want := lin.Forward(x, threads)
+		ctx := exec.New(threads)
+		got := ctx.Borrow(x.Rows, lin.Out)
+		lin.ForwardTo(ctx, got, x)
+		if !bitwiseEqual(want, got) {
+			t.Fatalf("threads=%d: ForwardTo differs from Forward", threads)
+		}
+		ctx.Release(got)
+	}
+}
+
+func TestLayerForwardToBitwise(t *testing.T) {
+	csr, cbmB := testBackends(t, 41, 180)
+	rng := xrand.New(42)
+	x := randomFeatures(rng, csr.Rows(), 10)
+	gcn := NewGCNConv(10, 8, rng)
+	gin := NewGINConv(10, 12, 5, 0.1, rng)
+	sage := NewSAGEConv(10, 6, rng)
+
+	type layer struct {
+		name string
+		out  int
+		fwd  func(a Adjacency, threads int) *dense.Matrix
+		fto  func(ctx *exec.Ctx, out *dense.Matrix, a Adjacency)
+	}
+	layers := []layer{
+		{"gcn", 8,
+			func(a Adjacency, th int) *dense.Matrix { return gcn.Forward(a, x, th) },
+			func(ctx *exec.Ctx, out *dense.Matrix, a Adjacency) { gcn.ForwardTo(ctx, out, a, x) }},
+		{"gin", 5,
+			func(a Adjacency, th int) *dense.Matrix { return gin.Forward(a, x, th) },
+			func(ctx *exec.Ctx, out *dense.Matrix, a Adjacency) { gin.ForwardTo(ctx, out, a, x) }},
+		{"sage", 6,
+			func(a Adjacency, th int) *dense.Matrix { return sage.Forward(a, x, th) },
+			func(ctx *exec.Ctx, out *dense.Matrix, a Adjacency) { sage.ForwardTo(ctx, out, a, x) }},
+	}
+	for _, l := range layers {
+		for _, a := range []Adjacency{csr, cbmB} {
+			for _, threads := range []int{1, 2} {
+				want := l.fwd(a, threads)
+				ctx := exec.New(threads)
+				got := dense.New(a.Rows(), l.out)
+				l.fto(ctx, got, a)
+				if !bitwiseEqual(want, got) {
+					t.Fatalf("%s threads=%d backend=%T: ForwardTo differs from Forward", l.name, threads, a)
+				}
+				if n := ctx.Arena().Outstanding(); n != 0 {
+					t.Fatalf("%s leaked %d arena buffers", l.name, n)
+				}
+			}
+		}
+	}
+}
+
+func TestGCN2InferToBitwise(t *testing.T) {
+	csr, cbmB := testBackends(t, 43, 200)
+	rng := xrand.New(44)
+	x := randomFeatures(rng, csr.Rows(), 16)
+	model := NewGCN2(16, 12, 5, 45)
+	for _, a := range []Adjacency{csr, cbmB} {
+		for _, threads := range []int{1, 2} {
+			want := model.Infer(a, x, threads)
+			ctx := exec.New(threads)
+			got := dense.New(a.Rows(), model.OutDim())
+			model.InferTo(ctx, got, a, x)
+			if !bitwiseEqual(want, got) {
+				t.Fatalf("threads=%d backend=%T: InferTo differs from Infer", threads, a)
+			}
+			if n := ctx.Arena().Outstanding(); n != 0 {
+				t.Fatalf("InferTo leaked %d arena buffers", n)
+			}
+		}
+	}
+}
+
+func TestInferStackToBitwise(t *testing.T) {
+	csr, cbmB := testBackends(t, 46, 160)
+	rng := xrand.New(47)
+	layers := []*GCNConv{
+		NewGCNConv(9, 14, rng),
+		NewGCNConv(14, 14, rng),
+		NewGCNConv(14, 3, rng),
+	}
+	x := randomFeatures(rng, csr.Rows(), 9)
+	for _, a := range []Adjacency{csr, cbmB} {
+		want := InferStack(layers, a, x, 2)
+		ctx := exec.New(2)
+		got := dense.New(a.Rows(), 3)
+		InferStackTo(ctx, got, layers, a, x)
+		if !bitwiseEqual(want, got) {
+			t.Fatalf("backend %T: InferStackTo differs from InferStack", a)
+		}
+		if n := ctx.Arena().Outstanding(); n != 0 {
+			t.Fatalf("InferStackTo leaked %d arena buffers", n)
+		}
+	}
+}
+
+func TestGCNStackInferToBitwise(t *testing.T) {
+	csr, _ := testBackends(t, 48, 140)
+	rng := xrand.New(49)
+	x := randomFeatures(rng, csr.Rows(), 6)
+	s := NewGCNStack([]int{6, 10, 4}, 50)
+	want := s.Infer(csr, x, 1)
+	ctx := exec.New(1)
+	got := dense.New(csr.Rows(), s.OutDim())
+	s.InferTo(ctx, got, csr, x)
+	if !bitwiseEqual(want, got) {
+		t.Fatal("GCNStack.InferTo differs from Infer")
+	}
+	if s.InDim() != 6 || s.OutDim() != 4 {
+		t.Fatalf("dims %d→%d, want 6→4", s.InDim(), s.OutDim())
+	}
+}
+
+func TestInferStackToZeroLayersCopies(t *testing.T) {
+	csr, _ := testBackends(t, 51, 60)
+	rng := xrand.New(52)
+	x := randomFeatures(rng, csr.Rows(), 5)
+	ctx := exec.New(1)
+	out := dense.New(x.Rows, x.Cols)
+	InferStackTo(ctx, out, nil, csr, x)
+	if !bitwiseEqual(out, x) {
+		t.Fatal("zero-layer InferStackTo did not copy x")
+	}
+}
+
+func TestInferStackToShapeMismatchPanics(t *testing.T) {
+	csr, _ := testBackends(t, 53, 60)
+	rng := xrand.New(54)
+	x := randomFeatures(rng, csr.Rows(), 5)
+	layers := []*GCNConv{NewGCNConv(5, 4, rng)}
+	ctx := exec.New(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong-shaped output accepted")
+		}
+	}()
+	InferStackTo(ctx, dense.New(csr.Rows(), 9), layers, csr, x)
+}
+
+// TestInferToSteadyStateZeroAlloc pins the refactor's core promise at
+// the model level: with a warmed arena and one thread, a full GCN2
+// forward pass allocates nothing.
+func TestInferToSteadyStateZeroAlloc(t *testing.T) {
+	csr, cbmB := testBackends(t, 55, 150)
+	rng := xrand.New(56)
+	x := randomFeatures(rng, csr.Rows(), 12)
+	model := NewGCN2(12, 10, 4, 57)
+	for _, a := range []Adjacency{csr, cbmB} {
+		ctx := exec.New(1)
+		out := dense.New(a.Rows(), model.OutDim())
+		model.InferTo(ctx, out, a, x) // warm the arena classes
+		if allocs := testing.AllocsPerRun(20, func() {
+			model.InferTo(ctx, out, a, x)
+		}); allocs != 0 {
+			t.Fatalf("backend %T: steady-state InferTo allocates %v times per pass", a, allocs)
+		}
+	}
+}

@@ -1,7 +1,10 @@
 package gnn
 
 import (
+	"fmt"
+
 	"repro/internal/dense"
+	"repro/internal/exec"
 	"repro/internal/obs"
 	"repro/internal/xrand"
 )
@@ -25,23 +28,80 @@ func NewGCN2(inFeatures, hidden, classes int, seed uint64) *GCN2 {
 // Infer runs the forward pass on backend a with the given thread
 // count and returns the output logits (n×classes).
 func (g *GCN2) Infer(a Adjacency, x *dense.Matrix, threads int) *dense.Matrix {
-	sp := obs.Begin(obs.StageInfer)
-	defer sp.End()
-	h := g.L0.Forward(a, x, threads).ReLU()
-	return g.L1.Forward(a, h, threads)
+	out := dense.New(a.Rows(), g.L1.Lin.Out)
+	g.InferTo(exec.New(threads), out, a, x)
+	return out
 }
+
+// InferTo runs the forward pass into the caller-owned out buffer
+// (n×classes), borrowing the hidden layer from the context's arena.
+// Operation order is identical to Infer, so results are bitwise equal.
+//
+//cbm:hotpath
+func (g *GCN2) InferTo(ctx *exec.Ctx, out *dense.Matrix, a Adjacency, x *dense.Matrix) {
+	sp := ctx.Begin(obs.StageInfer)
+	h := ctx.Borrow(a.Rows(), g.L0.Lin.Out)
+	g.L0.ForwardTo(ctx, h, a, x)
+	h.ReLU()
+	g.L1.ForwardTo(ctx, out, a, h)
+	ctx.Release(h)
+	sp.End()
+}
+
+// InDim returns the input feature width (Model interface).
+func (g *GCN2) InDim() int { return g.L0.Lin.In }
+
+// OutDim returns the output class width (Model interface).
+func (g *GCN2) OutDim() int { return g.L1.Lin.Out }
 
 // InferStack runs an arbitrary stack of GCN layers with ReLU between
 // them (none after the last) — used by the deeper-model ablation.
+// Zero layers returns x itself, unchanged.
 func InferStack(layers []*GCNConv, a Adjacency, x *dense.Matrix, threads int) *dense.Matrix {
-	sp := obs.Begin(obs.StageInfer)
-	defer sp.End()
-	h := x
-	for i, l := range layers {
-		h = l.Forward(a, h, threads)
-		if i != len(layers)-1 {
-			h.ReLU()
-		}
+	if len(layers) == 0 {
+		sp := obs.Begin(obs.StageInfer)
+		sp.End()
+		return x
 	}
-	return h
+	out := dense.New(a.Rows(), layers[len(layers)-1].Lin.Out)
+	InferStackTo(exec.New(threads), out, layers, a, x)
+	return out
+}
+
+// InferStackTo runs a stack of GCN layers into the caller-owned out
+// buffer (n×lastOut), ping-ponging intermediate activations through
+// arena buffers. Zero layers copies x into out (which must then match
+// x's shape). Operation order matches InferStack, so results are
+// bitwise equal.
+//
+//cbm:hotpath
+func InferStackTo(ctx *exec.Ctx, out *dense.Matrix, layers []*GCNConv, a Adjacency, x *dense.Matrix) {
+	sp := ctx.Begin(obs.StageInfer)
+	if len(layers) == 0 {
+		out.CopyFrom(x)
+		sp.End()
+		return
+	}
+	if last := layers[len(layers)-1]; out.Rows != a.Rows() || out.Cols != last.Lin.Out {
+		panic(fmt.Sprintf("gnn: InferStackTo output is %d×%d, want %d×%d", out.Rows, out.Cols, a.Rows(), last.Lin.Out))
+	}
+	cur := x
+	var prev *dense.Matrix // the arena buffer cur points into, if any
+	for i, l := range layers {
+		dst := out
+		if i != len(layers)-1 {
+			dst = ctx.Borrow(a.Rows(), l.Lin.Out)
+		}
+		l.ForwardTo(ctx, dst, a, cur)
+		if prev != nil {
+			ctx.Release(prev)
+			prev = nil
+		}
+		if i != len(layers)-1 {
+			dst.ReLU()
+			prev = dst
+		}
+		cur = dst
+	}
+	sp.End()
 }

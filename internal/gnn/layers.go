@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/blas"
 	"repro/internal/dense"
+	"repro/internal/exec"
 	"repro/internal/obs"
 	"repro/internal/xrand"
 )
@@ -31,11 +32,21 @@ func NewLinear(in, out int, bias bool, rng *xrand.RNG) *Linear {
 
 // Forward computes X·W (+ bias) with the given thread count.
 func (l *Linear) Forward(x *dense.Matrix, threads int) *dense.Matrix {
-	y := dense.MulParallel(x, l.W, threads)
-	if l.Bias != nil {
-		y.AddBiasRow(l.Bias)
-	}
+	y := dense.New(x.Rows, l.Out)
+	l.ForwardTo(exec.New(threads), y, x)
 	return y
+}
+
+// ForwardTo computes out = X·W (+ bias) into the caller-owned out
+// buffer (x.Rows×Out, overwritten). Operation order is identical to
+// Forward, so results are bitwise equal.
+//
+//cbm:hotpath
+func (l *Linear) ForwardTo(ctx *exec.Ctx, out, x *dense.Matrix) {
+	dense.MulTo(out, x, l.W, ctx.Threads())
+	if l.Bias != nil {
+		out.AddBiasRow(l.Bias)
+	}
 }
 
 // GCNConv is one graph-convolution layer: H = Â·(X·W), the
@@ -55,13 +66,23 @@ func NewGCNConv(in, out int, rng *xrand.RNG) *GCNConv {
 // evaluation order (two dense-dense + two sparse-dense products for a
 // two-layer net).
 func (c *GCNConv) Forward(a Adjacency, x *dense.Matrix, threads int) *dense.Matrix {
-	sp := obs.Begin(obs.StageLayer)
-	defer sp.End()
-	obs.Inc(obs.CounterLayerForwards)
-	xw := c.Lin.Forward(x, threads)
-	out := dense.New(a.Rows(), xw.Cols)
-	a.MulTo(out, xw, threads)
+	out := dense.New(a.Rows(), c.Lin.Out)
+	c.ForwardTo(exec.New(threads), out, a, x)
 	return out
+}
+
+// ForwardTo computes out = Â·(X·W) into the caller-owned out buffer
+// (n×Out), borrowing the X·W intermediate from the context's arena.
+//
+//cbm:hotpath
+func (c *GCNConv) ForwardTo(ctx *exec.Ctx, out *dense.Matrix, a Adjacency, x *dense.Matrix) {
+	sp := ctx.Begin(obs.StageLayer)
+	ctx.Inc(obs.CounterLayerForwards)
+	xw := ctx.Borrow(x.Rows, c.Lin.Out)
+	c.Lin.ForwardTo(ctx, xw, x)
+	a.MulToCtx(ctx, out, xw)
+	ctx.Release(xw)
+	sp.End()
 }
 
 // GINConv is a Graph Isomorphism Network layer:
@@ -83,16 +104,34 @@ func NewGINConv(in, hidden, out int, eps float32, rng *xrand.RNG) *GINConv {
 
 // Forward computes the GIN aggregation followed by the MLP.
 func (c *GINConv) Forward(a Adjacency, x *dense.Matrix, threads int) *dense.Matrix {
-	sp := obs.Begin(obs.StageLayer)
-	defer sp.End()
-	obs.Inc(obs.CounterLayerForwards)
-	agg := dense.New(a.Rows(), x.Cols)
-	a.MulTo(agg, x, threads)
+	out := dense.New(a.Rows(), c.Lin2.Out)
+	c.ForwardTo(exec.New(threads), out, a, x)
+	return out
+}
+
+// ForwardTo computes the GIN layer into the caller-owned out buffer
+// (n×Lin2.Out). Per-element operation order — including the
+// copy-then-scale of the (1+ε)·X term — replicates Forward's exactly,
+// so results are bitwise equal.
+//
+//cbm:hotpath
+func (c *GINConv) ForwardTo(ctx *exec.Ctx, out *dense.Matrix, a Adjacency, x *dense.Matrix) {
+	sp := ctx.Begin(obs.StageLayer)
+	ctx.Inc(obs.CounterLayerForwards)
+	agg := ctx.Borrow(a.Rows(), x.Cols)
+	a.MulToCtx(ctx, agg, x)
 	// agg += (1+eps)·x
-	scaled := x.Clone().Scale(1 + c.Eps)
+	scaled := ctx.Borrow(x.Rows, x.Cols)
+	scaled.CopyFrom(x).Scale(1 + c.Eps)
 	agg.Add(scaled)
-	h := c.Lin1.Forward(agg, threads).ReLU()
-	return c.Lin2.Forward(h, threads)
+	ctx.Release(scaled)
+	h := ctx.Borrow(x.Rows, c.Lin1.Out)
+	c.Lin1.ForwardTo(ctx, h, agg)
+	ctx.Release(agg)
+	h.ReLU()
+	c.Lin2.ForwardTo(ctx, out, h)
+	ctx.Release(h)
+	sp.End()
 }
 
 // SAGEConv is a GraphSAGE layer with sum aggregation:
@@ -112,14 +151,29 @@ func NewSAGEConv(in, out int, rng *xrand.RNG) *SAGEConv {
 
 // Forward computes the GraphSAGE update.
 func (c *SAGEConv) Forward(a Adjacency, x *dense.Matrix, threads int) *dense.Matrix {
-	sp := obs.Begin(obs.StageLayer)
-	defer sp.End()
-	obs.Inc(obs.CounterLayerForwards)
-	agg := dense.New(a.Rows(), x.Cols)
-	a.MulTo(agg, x, threads)
-	h := c.Self.Forward(x, threads)
-	h.Add(c.Neigh.Forward(agg, threads))
-	return h.ReLU()
+	out := dense.New(a.Rows(), c.Self.Out)
+	c.ForwardTo(exec.New(threads), out, a, x)
+	return out
+}
+
+// ForwardTo computes the GraphSAGE update into the caller-owned out
+// buffer (n×Out). Operation order matches Forward, so results are
+// bitwise equal.
+//
+//cbm:hotpath
+func (c *SAGEConv) ForwardTo(ctx *exec.Ctx, out *dense.Matrix, a Adjacency, x *dense.Matrix) {
+	sp := ctx.Begin(obs.StageLayer)
+	ctx.Inc(obs.CounterLayerForwards)
+	agg := ctx.Borrow(a.Rows(), x.Cols)
+	a.MulToCtx(ctx, agg, x)
+	c.Self.ForwardTo(ctx, out, x)
+	hn := ctx.Borrow(a.Rows(), c.Neigh.Out)
+	c.Neigh.ForwardTo(ctx, hn, agg)
+	ctx.Release(agg)
+	out.Add(hn)
+	ctx.Release(hn)
+	out.ReLU()
+	sp.End()
 }
 
 // MeanReadout pools node embeddings into one vector per graph of a

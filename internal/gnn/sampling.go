@@ -92,10 +92,18 @@ func SAGEBatch(layers []*SAGEConv, sampler *Sampler, x *dense.Matrix, batch []in
 	for k := 1; k <= K; k++ {
 		layer := layers[k-1]
 		next := map[int32][]float32{}
-		for _, v := range frontiers[k] {
+		// Scratch is hoisted out of the per-node loop: agg and tmp are
+		// overwritten for every node, and the per-node output vectors —
+		// which must outlive the loop (the next layer reads them through
+		// the map) — are carved out of one per-layer slab. The loop body
+		// itself allocates nothing (see TestSAGEBatchAllocs).
+		agg := make([]float32, layer.Self.In)
+		tmp := make([]float32, layer.Neigh.Out)
+		outDim := layer.Self.Out
+		slab := make([]float32, len(frontiers[k])*outDim)
+		for ni, v := range frontiers[k] {
 			nb := samples[k][v]
-			inDim := layer.Self.In
-			agg := make([]float32, inDim)
+			blas.Fill(agg, 0)
 			for _, u := range nb {
 				blas.Add(cur[u], agg)
 			}
@@ -103,12 +111,11 @@ func SAGEBatch(layers []*SAGEConv, sampler *Sampler, x *dense.Matrix, batch []in
 				blas.Scal(1/float32(len(nb)), agg)
 			}
 			// h' = ReLU(W_self·h_v + W_neigh·agg)
-			out := make([]float32, layer.Self.Out)
+			out := slab[ni*outDim : (ni+1)*outDim : (ni+1)*outDim]
 			matVecInto(out, layer.Self.W, cur[v])
 			if layer.Self.Bias != nil {
 				blas.Add(layer.Self.Bias, out)
 			}
-			tmp := make([]float32, layer.Neigh.Out)
 			matVecInto(tmp, layer.Neigh.W, agg)
 			blas.Add(tmp, out)
 			for i, val := range out {

@@ -119,6 +119,39 @@ func TestSAGEBatchTwoLayers(t *testing.T) {
 	}
 }
 
+// TestSAGEBatchAllocs is the regression guard for the hoisted scratch
+// in SAGEBatch's compute loop: agg/tmp are reused across nodes and the
+// per-node outputs come from one per-layer slab, so the only remaining
+// per-node allocations are neighbour-list copies during frontier
+// expansion and map inserts (~2.6/node measured). The old code's three
+// per-node makes (agg, tmp, out) added 3 more per node-layer, putting
+// it far above this bound (~8.7/node on this graph).
+func TestSAGEBatchAllocs(t *testing.T) {
+	n := 150
+	a := synth.SBMGroups(n, 15, 0.75, 0.4, 6)
+	rng := xrand.New(7)
+	x := dense.New(n, 10)
+	rng.FillUniform(x.Data)
+	lrng := xrand.New(8)
+	layers := []*SAGEConv{NewSAGEConv(10, 12, lrng), NewSAGEConv(12, 4, lrng)}
+	sampler, err := NewSampler(a, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full batch with fanout ≥ every degree keeps the sampled
+	// neighbourhoods (and so the allocation count) identical per run.
+	batch := make([]int32, n)
+	for i := range batch {
+		batch[i] = int32(i)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		SAGEBatch(layers, sampler, x, batch, n, 1)
+	})
+	if limit := float64(5 * n); allocs >= limit {
+		t.Fatalf("SAGEBatch allocates %v times per call (limit %v): per-node scratch regressed", allocs, limit)
+	}
+}
+
 func TestSAGEBatchIsolatedNode(t *testing.T) {
 	// graph with an isolated node: aggregation must not divide by zero
 	coo := sparse.NewCOO(4, 4)

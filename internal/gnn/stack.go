@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/dense"
+	"repro/internal/exec"
 	"repro/internal/xrand"
 )
 
@@ -34,6 +35,20 @@ func (s *GCNStack) Depth() int { return len(s.Layers) }
 func (s *GCNStack) Infer(a Adjacency, x *dense.Matrix, threads int) *dense.Matrix {
 	return InferStack(s.Layers, a, x, threads)
 }
+
+// InferTo runs the forward pass into the caller-owned out buffer
+// (Model interface).
+//
+//cbm:hotpath
+func (s *GCNStack) InferTo(ctx *exec.Ctx, out *dense.Matrix, a Adjacency, x *dense.Matrix) {
+	InferStackTo(ctx, out, s.Layers, a, x)
+}
+
+// InDim returns the input feature width (Model interface).
+func (s *GCNStack) InDim() int { return s.Layers[0].Lin.In }
+
+// OutDim returns the output feature width (Model interface).
+func (s *GCNStack) OutDim() int { return s.Layers[len(s.Layers)-1].Lin.Out }
 
 // Train runs full-batch training of the whole stack with the given
 // optimizer, backpropagating through every Â multiplication (Âᵀ = Â

@@ -44,6 +44,22 @@ func SpMMTo(c *dense.Matrix, s *sparse.CSR, b *dense.Matrix, threads int) {
 	if c.Rows != s.Rows || c.Cols != b.Cols {
 		panic(fmt.Sprintf("kernels: SpMM output shape mismatch: c is %dx%d, want %dx%d", c.Rows, c.Cols, s.Rows, b.Cols))
 	}
+	obs.Inc(obs.CounterSpMMCalls)
+	// Sequential fast path: run the row loop inline, with a plain
+	// Begin/End span instead of the obs.Do closure — both the loop-body
+	// and the Do closures heap-allocate at this call site even when the
+	// schedule is single-threaded, which the zero-allocation serving
+	// path cannot afford. (Tradeoff: no pprof stage label here; labels
+	// exist to attribute pool-worker samples, which a sequential run
+	// does not have.)
+	if parallel.Sequential(threads, s.Rows) {
+		sp := obs.Begin(obs.StageSpMM)
+		for i := 0; i < s.Rows; i++ {
+			spmmRow(c, s, b, i)
+		}
+		sp.End()
+		return
+	}
 	// Grain: enough rows that scheduling overhead amortizes, small
 	// enough that heavy rows don't serialize the tail. Derived from the
 	// thread count the parallel loop will actually use — the raw request
@@ -53,7 +69,6 @@ func SpMMTo(c *dense.Matrix, s *sparse.CSR, b *dense.Matrix, threads int) {
 	if grain < 16 {
 		grain = 16
 	}
-	obs.Inc(obs.CounterSpMMCalls)
 	obs.Do(obs.StageSpMM, func() {
 		parallel.ForDynamic(s.Rows, threads, grain, func(i int) {
 			spmmRow(c, s, b, i)

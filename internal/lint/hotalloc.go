@@ -14,6 +14,12 @@ import (
 //   - map literals, map index writes, delete
 //   - interface boxing: passing or assigning a concrete value where an
 //     interface is expected (each boxing may heap-allocate)
+//   - calls to fresh-Matrix allocators (New, Clone, Transpose,
+//     FromRows, Mul, MulParallel, SpMM, SpMMParallel — any call with
+//     one of those names returning a *Matrix): allocation hiding
+//     behind an ordinary call is still allocation. Arena borrows
+//     (Borrow) are the sanctioned way to obtain scratch and are
+//     exempt — they recycle instead of allocating.
 //
 // Validation guards whose body only panics are exempt — their
 // fmt.Sprintf boxing executes exclusively on the failure path, and
@@ -21,9 +27,24 @@ import (
 // headers (the internal/parallel worker-body idiom) are accepted.
 var HotAlloc = &Analyzer{
 	Name: "hotalloc",
-	Doc: "forbid make/append/map operations/interface boxing in //cbm:hotpath functions " +
-		"(panic guards exempt)",
+	Doc: "forbid make/append/map operations/interface boxing/fresh-Matrix allocator calls " +
+		"in //cbm:hotpath functions (panic guards and arena borrows exempt)",
 	Run: runHotAlloc,
+}
+
+// matrixAllocators names the functions and methods known to return a
+// freshly allocated *Matrix. Matching is by callee name plus result
+// type (pointer to a named type called Matrix), not import path, so
+// the self-contained golden fixtures can exercise the rule.
+var matrixAllocators = map[string]bool{
+	"New":          true,
+	"Clone":        true,
+	"Transpose":    true,
+	"FromRows":     true,
+	"Mul":          true,
+	"MulParallel":  true,
+	"SpMM":         true,
+	"SpMMParallel": true,
 }
 
 func runHotAlloc(p *Pass) {
@@ -91,6 +112,10 @@ func (w *hotAllocWalker) checkCall(call *ast.CallExpr) {
 	default:
 		return // len, cap, copy, panic, ...: allocation-free
 	}
+	if name := calleeName(call); matrixAllocators[name] && isMatrixPtr(w.p.TypeOf(call)) {
+		w.p.Reportf(call.Pos(), "hotalloc: %s returns a freshly allocated Matrix inside //cbm:hotpath function %s; borrow from an exec arena instead",
+			exprString(call.Fun), w.fn)
+	}
 	if isConversion(w.p, call) {
 		if t := w.p.TypeOf(call); t != nil && types.IsInterface(t) {
 			w.p.Reportf(call.Pos(), "hotalloc: conversion of %s to interface %s boxes inside //cbm:hotpath function %s",
@@ -156,4 +181,27 @@ func (w *hotAllocWalker) checkAssign(as *ast.AssignStmt) {
 func isUntypedNil(t types.Type) bool {
 	b, ok := t.(*types.Basic)
 	return ok && b.Kind() == types.UntypedNil
+}
+
+// calleeName returns the bare name of the called function or method
+// ("New" for both dense.New(...) and x.Clone()'s "Clone"), or "".
+func calleeName(call *ast.CallExpr) string {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		return fn.Sel.Name
+	}
+	return ""
+}
+
+// isMatrixPtr reports whether t is a pointer to a named type called
+// Matrix — the result shape shared by every fresh-Matrix allocator.
+func isMatrixPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	return ok && named.Obj().Name() == "Matrix"
 }

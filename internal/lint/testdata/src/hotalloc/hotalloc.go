@@ -47,3 +47,32 @@ func coldAlloc(n int) []float32 {
 	_ = m
 	return append(out, 1)
 }
+
+// Matrix mirrors the result shape of the repository's dense matrix so
+// the fixture can exercise the fresh-Matrix allocator rule without
+// importing repro packages (fixtures type-check stand-alone).
+type Matrix struct{ Rows, Cols int }
+
+// New plays dense.New.
+func New(rows, cols int) *Matrix { return &Matrix{Rows: rows, Cols: cols} }
+
+// Clone plays Matrix.Clone.
+func (m *Matrix) Clone() *Matrix { return New(m.Rows, m.Cols) }
+
+// Arena plays exec.Arena: Borrow recycles, so it is exempt.
+type Arena struct{ spare *Matrix }
+
+// Borrow hands out recycled storage; the allocator rule must not fire.
+func (a *Arena) Borrow(rows, cols int) *Matrix { return a.spare }
+
+//cbm:hotpath
+func hotFreshMatrix(a *Arena, x *Matrix) *Matrix {
+	m := New(2, 2)      // want `hotalloc: New returns a freshly allocated Matrix inside //cbm:hotpath function hotFreshMatrix`
+	c := x.Clone()      // want `hotalloc: x.Clone returns a freshly allocated Matrix`
+	b := a.Borrow(2, 2) // negative: arena borrows are the sanctioned scratch path
+	_, _ = c, b
+	return m
+}
+
+// Negative: no directive, allocator calls are fine.
+func coldFreshMatrix() *Matrix { return New(3, 3) }

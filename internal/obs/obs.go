@@ -54,6 +54,9 @@ const (
 	StageLayer
 	// StageInfer is a whole-model GNN forward pass.
 	StageInfer
+	// StageEngine is one gnn.Engine inference request end to end:
+	// admission wait included, so engine minus infer is queueing.
+	StageEngine
 
 	numStages
 )
@@ -66,6 +69,7 @@ var stageNames = [numStages]string{
 	StageCompress:   "compress",
 	StageLayer:      "layer",
 	StageInfer:      "infer",
+	StageEngine:     "engine",
 }
 
 func (s Stage) String() string {
@@ -99,6 +103,14 @@ const (
 	CounterCompressions
 	// CounterLayerForwards counts GNN layer forward passes.
 	CounterLayerForwards
+	// CounterEngineInfers counts gnn.Engine inference requests served.
+	CounterEngineInfers
+	// CounterArenaBorrows counts exec arena Borrow calls.
+	CounterArenaBorrows
+	// CounterArenaGrows counts Borrow calls the local free lists could
+	// not serve (global-pool recycles plus fresh allocations); in a
+	// warmed-up serving loop this counter stays flat.
+	CounterArenaGrows
 
 	numCounters
 )
@@ -109,6 +121,9 @@ var counterNames = [numCounters]string{
 	CounterSpMMCalls:     "spmm_calls",
 	CounterCompressions:  "compressions",
 	CounterLayerForwards: "layer_forwards",
+	CounterEngineInfers:  "engine_infers",
+	CounterArenaBorrows:  "arena_borrows",
+	CounterArenaGrows:    "arena_grows",
 }
 
 func (c Counter) String() string {

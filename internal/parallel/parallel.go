@@ -45,6 +45,17 @@ func EffectiveThreads(threads, n int) int {
 	return clampThreads(threads, n)
 }
 
+// Sequential reports whether a parallel call over n iterations with
+// the given requested thread count will run inline on the calling
+// goroutine. Kernels use it to take closure-free sequential fast
+// paths: a closure passed to For/ForRange/ForDynamic heap-allocates
+// at the call site even when the loop then runs inline, which is
+// exactly the per-call garbage the zero-allocation serving path must
+// not produce.
+func Sequential(threads, n int) bool {
+	return clampThreads(threads, n) == 1
+}
+
 // For runs body(i) for i in [0, n) using a static block distribution
 // over the given number of threads. threads < 1 selects
 // DefaultThreads(). It corresponds to OpenMP's schedule(static).

@@ -239,3 +239,31 @@ func TestReduceFloatMergeDeterminism(t *testing.T) {
 		}
 	}
 }
+
+func TestSequential(t *testing.T) {
+	max := DefaultThreads()
+	cases := []struct {
+		threads, n int
+		want       bool
+	}{
+		{1, 100, true},     // explicit single thread
+		{4, 1, true},       // one iteration clamps to one worker
+		{4, 0, true},       // empty loop runs (vacuously) inline
+		{2, 100, false},    // genuine parallel request
+		{-1, 1, true},      // default threads, but only one iteration
+		{0, 100, max == 1}, // default threads over many iterations
+	}
+	for _, c := range cases {
+		if got := Sequential(c.threads, c.n); got != c.want {
+			t.Errorf("Sequential(%d, %d) = %v, want %v", c.threads, c.n, got, c.want)
+		}
+	}
+	// Sequential must agree with EffectiveThreads by construction.
+	for threads := -1; threads <= 4; threads++ {
+		for _, n := range []int{0, 1, 2, 100} {
+			if Sequential(threads, n) != (EffectiveThreads(threads, n) == 1) {
+				t.Fatalf("Sequential(%d, %d) disagrees with EffectiveThreads", threads, n)
+			}
+		}
+	}
+}
