@@ -31,13 +31,16 @@ echo "==> go test $PKGS"
 go test "$PKGS"
 
 echo "==> go test -race (concurrency-heavy packages)"
-go test -race ./internal/cbm/... ./internal/parallel/... ./internal/kernels/... ./internal/oracle/... ./internal/obs/... ./internal/exec/... ./internal/gnn/...
+go test -race ./internal/cbm/... ./internal/parallel/... ./internal/kernels/... ./internal/oracle/... ./internal/obs/... ./internal/exec/... ./internal/gnn/... ./internal/clock/...
 
 echo "==> worker-pool stress (-race, reuse + nested submits + determinism)"
 go test -race -count=1 -run 'TestPool' ./internal/parallel/
 
 echo "==> engine race stress (-race, concurrent serving vs sequential reference)"
 go test -race -count=1 -run 'TestEngine' ./internal/gnn/
+
+echo "==> micro-batching smoke (-race, deterministic clock + batched bitwise equivalence)"
+go test -race -count=1 -run 'TestBatcher|TestGatherScatter|TestEngineBatched' ./internal/gnn/
 
 echo "==> zero-alloc smoke (arena + forward path + engine steady state)"
 go test -count=1 -run 'ZeroAlloc|TestArenaSteadyState|TestSAGEBatchAllocs' ./internal/exec/ ./internal/gnn/
@@ -50,6 +53,10 @@ go run ./cmd/verify -n 96 -gens hub,sbm -alphas 0,4 -threads 1,4,8 -stress 1
 
 echo "==> cmd/gcnserve smoke (concurrent engine under load)"
 go run ./cmd/gcnserve -dataset cora -cols 16 -classes 4 -concurrency 4 -requests 5 >/dev/null
+
+echo "==> cmd/gcnserve batched smoke (micro-batched vs unbatched sweep)"
+go run ./cmd/gcnserve -dataset cora -cols 16 -classes 4 -requests 3 \
+    -batch -concurrencies 1,4 >/dev/null
 
 echo "==> cbmbench metrics smoke (BENCH_cbm.json)"
 go run ./cmd/cbmbench -exp bench -datasets cora -cols 16 -reps 3 -warmup 1 \

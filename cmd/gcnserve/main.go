@@ -5,12 +5,20 @@
 // pooled execution context, and the report compares CSR against CBM at
 // the same concurrency. It is the serving-side companion of gcninfer's
 // one-shot timing.
+//
+// With -batch the comparison changes axis: the CBM backend served
+// unbatched versus through the cross-request micro-batching scheduler
+// (requests coalesced into one wide SpMM per flush), swept over
+// -concurrencies with the two modes interleaved ABBA per level so
+// machine drift biases neither side.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -34,6 +42,11 @@ func main() {
 		requests    = flag.Int("requests", 40, "requests per worker (after one warm-up each)")
 		seed        = flag.Uint64("seed", 1, "generator seed")
 		metrics     = flag.Bool("metrics", false, "dump the internal/obs metrics snapshot as JSON to stderr on exit")
+
+		batch         = flag.Bool("batch", false, "compare unbatched vs micro-batched CBM serving instead of CSR vs CBM")
+		batchWindow   = flag.Duration("batch-window", 250*time.Microsecond, "micro-batch flush window")
+		batchCols     = flag.Int("batch-cols", 0, "micro-batch column budget (0 = concurrency × cols)")
+		concurrencies = flag.String("concurrencies", "", "comma-separated concurrency sweep for -batch (default: the -concurrency level)")
 	)
 	flag.Parse()
 	if *concurrency < 1 || *requests < 1 {
@@ -65,22 +78,91 @@ func main() {
 	rng := xrand.New(*seed + 11)
 	x := dense.New(a.Rows, *cols)
 	rng.FillUniform(x.Data)
-	cfg := gnn.EngineConfig{MaxInFlight: slots, Threads: *threads}
-	outf("engine: %d workers × %d requests, %d slots, %d thread(s)/request\n",
-		*concurrency, *requests, slots, cfg.Threads)
 
-	csrStats := serve(gnn.NewEngine(model, csrBackend, cfg), x, *concurrency, *requests)
-	cbmStats := serve(gnn.NewEngine(model, cbmBackend, cfg), x, *concurrency, *requests)
-	outf("%-8s %10s %10s %10s %10s %12s\n", "backend", "mean_ms", "p50_ms", "p99_ms", "max_ms", "req/s")
-	report("CSR", csrStats)
-	report("CBM", cbmStats)
-	outf("speedup (mean): %.2f×\n", csrStats.mean()/cbmStats.mean())
+	if *batch {
+		levels := []int{*concurrency}
+		if *concurrencies != "" {
+			levels = levels[:0]
+			for _, s := range strings.Split(*concurrencies, ",") {
+				v, err := strconv.Atoi(strings.TrimSpace(s))
+				if err != nil || v < 1 {
+					fatal(fmt.Errorf("bad -concurrencies value %q", s))
+				}
+				levels = append(levels, v)
+			}
+		}
+		batchSweep(model, cbmBackend, x, levels, *requests, *threads, *maxInFlight, *batchWindow, *batchCols, *cols)
+	} else {
+		cfg := gnn.EngineConfig{MaxInFlight: slots, Threads: *threads}
+		outf("engine: %d workers × %d requests, %d slots, %d thread(s)/request\n",
+			*concurrency, *requests, slots, cfg.Threads)
+		csrStats := serve(gnn.NewEngine(model, csrBackend, cfg), x, *concurrency, *requests)
+		cbmStats := serve(gnn.NewEngine(model, cbmBackend, cfg), x, *concurrency, *requests)
+		outf("%-8s %10s %10s %10s %10s %12s\n", "backend", "mean_ms", "p50_ms", "p99_ms", "max_ms", "req/s")
+		report("CSR", csrStats)
+		report("CBM", cbmStats)
+		outf("speedup (mean): %.2f×\n", csrStats.mean()/cbmStats.mean())
+	}
 
 	if *metrics {
 		if err := obs.WriteJSON(os.Stderr); err != nil {
 			fatal(err)
 		}
 	}
+}
+
+// batchSweep compares unbatched vs micro-batched CBM serving at each
+// concurrency level. The two modes run interleaved ABBA (unbatched,
+// batched, batched, unbatched) so a machine-load drift across the
+// sweep biases neither; the batched engine gets ONE execution slot —
+// its concurrency comes from coalescing requests, not parallel slots.
+func batchSweep(model gnn.Model, backend gnn.Adjacency, x *dense.Matrix, levels []int, requests, threads, maxInFlight int, window time.Duration, budget, cols int) {
+	outf("batch sweep: window=%v, budget=%s, %d requests/worker per half-round\n",
+		window, budgetLabel(budget), requests)
+	outf("%-6s %-9s %10s %10s %10s %10s %12s\n", "conc", "mode", "mean_ms", "p50_ms", "p99_ms", "max_ms", "req/s")
+	for _, conc := range levels {
+		slots := maxInFlight
+		if slots <= 0 {
+			slots = conc
+		}
+		ub := gnn.NewEngine(model, backend, gnn.EngineConfig{MaxInFlight: slots, Threads: threads})
+		maxCols := budget
+		if maxCols <= 0 {
+			maxCols = conc * cols
+		}
+		bb := gnn.NewEngine(model, backend, gnn.EngineConfig{
+			MaxInFlight: 1,
+			Threads:     threads,
+			Batch:       gnn.BatchConfig{Window: window, MaxCols: maxCols},
+		})
+		flushes0 := obs.CounterValue(obs.CounterBatchFlushes)
+		bcols0 := obs.CounterValue(obs.CounterBatchCols)
+		// ABBA: half the rounds lead with each mode.
+		var plain, batched loadStats
+		plain.merge(serve(ub, x, conc, requests))
+		batched.merge(serve(bb, x, conc, requests))
+		batched.merge(serve(bb, x, conc, requests))
+		plain.merge(serve(ub, x, conc, requests))
+		meanBatchCols := 0.0
+		if df := obs.CounterValue(obs.CounterBatchFlushes) - flushes0; df > 0 {
+			meanBatchCols = float64(obs.CounterValue(obs.CounterBatchCols)-bcols0) / float64(df)
+		}
+		bb.Close()
+		reportMode(conc, "plain", plain)
+		reportMode(conc, "batched", batched)
+		outf("conc=%d batched speedup (mean): %.2f×, p99: %.2f×, mean batch cols: %.0f\n",
+			conc,
+			plain.mean()/batched.mean(),
+			bench.Quantile(plain.lat, 0.99)/bench.Quantile(batched.lat, 0.99),
+			meanBatchCols)
+	}
+}
+
+func budgetLabel(budget int) string {
+	if budget <= 0 {
+		return "conc×cols"
+	}
+	return strconv.Itoa(budget)
 }
 
 // loadStats holds per-request latencies (seconds) and the wall-clock
@@ -91,6 +173,13 @@ type loadStats struct {
 }
 
 func (s loadStats) mean() float64 { return bench.Summarize(s.lat).Seconds() }
+
+// merge pools another run's latencies into s (walls add: req/s stays
+// total requests over total measured time).
+func (s *loadStats) merge(o loadStats) {
+	s.lat = append(s.lat, o.lat...)
+	s.wall += o.wall
+}
 
 // serve fires concurrency workers at the engine, each issuing one
 // unmeasured warm-up request (filling its slot's arena) followed by
@@ -126,6 +215,17 @@ func report(name string, s loadStats) {
 	t := bench.Summarize(s.lat)
 	ms := func(sec float64) string { return fmt.Sprintf("%.3f", sec*1e3) }
 	outf("%-8s %10s %10s %10s %10s %12.1f\n", name,
+		ms(t.Seconds()),
+		ms(bench.Quantile(s.lat, 0.5)),
+		ms(bench.Quantile(s.lat, 0.99)),
+		ms(bench.Quantile(s.lat, 1.0)),
+		float64(len(s.lat))/s.wall)
+}
+
+func reportMode(conc int, mode string, s loadStats) {
+	t := bench.Summarize(s.lat)
+	ms := func(sec float64) string { return fmt.Sprintf("%.3f", sec*1e3) }
+	outf("%-6d %-9s %10s %10s %10s %10s %12.1f\n", conc, mode,
 		ms(t.Seconds()),
 		ms(bench.Quantile(s.lat, 0.5)),
 		ms(bench.Quantile(s.lat, 0.99)),

@@ -1,0 +1,194 @@
+// Package clock abstracts wall-clock time behind an injectable
+// interface so time-driven components can be tested deterministically.
+// The gnn.Engine micro-batcher is the motivating consumer: its flush
+// window and request deadlines are scheduling decisions, and a test
+// that proves "the window flush fires exactly once" must control when
+// the window elapses instead of sleeping and hoping (the repository's
+// bitwise-determinism discipline applied to time). Production code
+// passes System(); tests pass a Fake and call Advance.
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock supplies the current time and timers. Implementations must be
+// safe for concurrent use.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// NewTimer returns a new, unarmed timer. Arm it with Reset. (An
+	// unarmed birth state avoids the arm-then-immediately-Stop dance
+	// time.NewTimer forces, which would be visible to Fake.BlockUntil.)
+	NewTimer() Timer
+}
+
+// Timer is a resettable one-shot timer with time.Timer channel
+// semantics: a fire sends on C, Stop after a fire does not unsend, and
+// the owner is responsible for draining a stale fire before Reset.
+type Timer interface {
+	// C returns the fire channel (buffered, capacity one).
+	C() <-chan time.Time
+	// Reset arms the timer to fire after d. The caller must ensure no
+	// stale fire is sitting in C (consume or drain after Stop).
+	Reset(d time.Duration)
+	// Stop disarms the timer. It reports whether the timer was armed
+	// and had not yet fired; a false return can mean a fire is already
+	// buffered in C, which the caller must drain before Reset.
+	Stop() bool
+}
+
+// System returns the real wall clock.
+func System() Clock { return systemClock{} }
+
+type systemClock struct{}
+
+func (systemClock) Now() time.Time { return time.Now() }
+
+func (systemClock) NewTimer() Timer {
+	t := time.NewTimer(time.Hour)
+	if !t.Stop() {
+		<-t.C
+	}
+	return &systemTimer{t: t}
+}
+
+type systemTimer struct{ t *time.Timer }
+
+func (st *systemTimer) C() <-chan time.Time   { return st.t.C }
+func (st *systemTimer) Reset(d time.Duration) { st.t.Reset(d) }
+func (st *systemTimer) Stop() bool            { return st.t.Stop() }
+
+// Fake is a manually advanced Clock for deterministic tests: time
+// moves only when Advance is called, and timers fire synchronously
+// inside Advance. BlockUntil lets a test wait for the code under test
+// to arm its timer before advancing, closing the submit/advance race
+// without polling or sleeping.
+type Fake struct {
+	mu      sync.Mutex
+	now     time.Time
+	timers  []*fakeTimer
+	changed chan struct{} // closed and replaced on every state change
+}
+
+// NewFake returns a fake clock starting at a fixed, arbitrary epoch
+// (2000-01-01 UTC), so tests are insensitive to the host clock.
+func NewFake() *Fake {
+	return NewFakeAt(time.Date(2000, 1, 1, 0, 0, 0, 0, time.UTC))
+}
+
+// NewFakeAt returns a fake clock starting at start.
+func NewFakeAt(start time.Time) *Fake {
+	return &Fake{now: start, changed: make(chan struct{})}
+}
+
+// Now returns the fake's current time.
+func (f *Fake) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+// NewTimer returns a new, unarmed fake timer.
+func (f *Fake) NewTimer() Timer {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	t := &fakeTimer{f: f, c: make(chan time.Time, 1)}
+	f.timers = append(f.timers, t)
+	f.bumpLocked()
+	return t
+}
+
+// Advance moves the clock forward by d, firing every armed timer whose
+// deadline falls within the advanced span. Fires are delivered like
+// time.Timer's: a non-blocking send on a one-slot channel.
+func (f *Fake) Advance(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.now = f.now.Add(d)
+	for _, t := range f.timers {
+		if t.armed && !t.when.After(f.now) {
+			t.armed = false
+			select {
+			case t.c <- f.now:
+			default:
+			}
+		}
+	}
+	f.bumpLocked()
+}
+
+// Armed reports how many timers are currently armed.
+func (f *Fake) Armed() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.armedLocked()
+}
+
+// BlockUntil blocks until at least n timers are armed — the
+// synchronization point between a test and the goroutine it expects to
+// arm a flush timer.
+func (f *Fake) BlockUntil(n int) {
+	for {
+		f.mu.Lock()
+		armed := f.armedLocked()
+		ch := f.changed
+		f.mu.Unlock()
+		if armed >= n {
+			return
+		}
+		<-ch
+	}
+}
+
+func (f *Fake) armedLocked() int {
+	n := 0
+	for _, t := range f.timers {
+		if t.armed {
+			n++
+		}
+	}
+	return n
+}
+
+// bumpLocked wakes every BlockUntil waiter to re-check state.
+func (f *Fake) bumpLocked() {
+	close(f.changed)
+	f.changed = make(chan struct{})
+}
+
+type fakeTimer struct {
+	f     *Fake
+	c     chan time.Time
+	armed bool
+	when  time.Time
+}
+
+func (t *fakeTimer) C() <-chan time.Time { return t.c }
+
+func (t *fakeTimer) Reset(d time.Duration) {
+	t.f.mu.Lock()
+	defer t.f.mu.Unlock()
+	t.when = t.f.now.Add(d)
+	if t.when.After(t.f.now) {
+		t.armed = true
+	} else {
+		// Non-positive duration: fire immediately, like time.Timer.
+		t.armed = false
+		select {
+		case t.c <- t.f.now:
+		default:
+		}
+	}
+	t.f.bumpLocked()
+}
+
+func (t *fakeTimer) Stop() bool {
+	t.f.mu.Lock()
+	defer t.f.mu.Unlock()
+	was := t.armed
+	t.armed = false
+	t.f.bumpLocked()
+	return was
+}

@@ -1,0 +1,163 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFakeNowAdvance(t *testing.T) {
+	f := NewFake()
+	t0 := f.Now()
+	f.Advance(3 * time.Second)
+	if got := f.Now().Sub(t0); got != 3*time.Second {
+		t.Fatalf("advance moved clock by %v, want 3s", got)
+	}
+	if f.Now() != t0.Add(3*time.Second) {
+		t.Fatal("Now is not start+advance")
+	}
+}
+
+func TestFakeTimerFiresExactlyOnce(t *testing.T) {
+	f := NewFake()
+	tm := f.NewTimer()
+	if f.Armed() != 0 {
+		t.Fatal("new timer must be unarmed")
+	}
+	tm.Reset(10 * time.Millisecond)
+	if f.Armed() != 1 {
+		t.Fatal("Reset did not arm")
+	}
+	f.Advance(9 * time.Millisecond)
+	select {
+	case <-tm.C():
+		t.Fatal("fired before deadline")
+	default:
+	}
+	f.Advance(1 * time.Millisecond)
+	select {
+	case <-tm.C():
+	default:
+		t.Fatal("did not fire at deadline")
+	}
+	// Further advances must not re-fire a one-shot timer.
+	f.Advance(time.Hour)
+	select {
+	case <-tm.C():
+		t.Fatal("fired twice")
+	default:
+	}
+}
+
+func TestFakeTimerStop(t *testing.T) {
+	f := NewFake()
+	tm := f.NewTimer()
+	if tm.Stop() {
+		t.Fatal("Stop of unarmed timer reported armed")
+	}
+	tm.Reset(time.Second)
+	if !tm.Stop() {
+		t.Fatal("Stop of armed timer reported unarmed")
+	}
+	f.Advance(2 * time.Second)
+	select {
+	case <-tm.C():
+		t.Fatal("stopped timer fired")
+	default:
+	}
+	// Stop after a fire reports false and leaves the fire in C — the
+	// time.Timer drain contract.
+	tm.Reset(time.Second)
+	f.Advance(time.Second)
+	if tm.Stop() {
+		t.Fatal("Stop after fire must report false")
+	}
+	select {
+	case <-tm.C():
+	default:
+		t.Fatal("fire was lost")
+	}
+}
+
+func TestFakeTimerResetRearms(t *testing.T) {
+	f := NewFake()
+	tm := f.NewTimer()
+	tm.Reset(time.Second)
+	f.Advance(time.Second)
+	<-tm.C()
+	tm.Reset(2 * time.Second)
+	f.Advance(time.Second)
+	select {
+	case <-tm.C():
+		t.Fatal("re-armed timer fired early")
+	default:
+	}
+	f.Advance(time.Second)
+	select {
+	case <-tm.C():
+	default:
+		t.Fatal("re-armed timer did not fire")
+	}
+}
+
+func TestFakeTimerNonPositiveResetFiresImmediately(t *testing.T) {
+	f := NewFake()
+	tm := f.NewTimer()
+	tm.Reset(0)
+	select {
+	case <-tm.C():
+	default:
+		t.Fatal("zero-duration Reset did not fire")
+	}
+	if f.Armed() != 0 {
+		t.Fatal("immediate fire left timer armed")
+	}
+}
+
+func TestFakeBlockUntil(t *testing.T) {
+	f := NewFake()
+	tm := f.NewTimer()
+	released := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		f.BlockUntil(1)
+		close(released)
+	}()
+	select {
+	case <-released:
+		t.Fatal("BlockUntil returned with no armed timer")
+	default:
+	}
+	tm.Reset(time.Minute)
+	wg.Wait()
+	<-released
+	// Already satisfied: returns immediately.
+	f.BlockUntil(1)
+}
+
+func TestSystemClock(t *testing.T) {
+	c := System()
+	before := time.Now()
+	now := c.Now()
+	if now.Before(before.Add(-time.Second)) {
+		t.Fatalf("system Now is in the past: %v < %v", now, before)
+	}
+	tm := c.NewTimer()
+	// A fresh system timer is unarmed: nothing may be pending in C.
+	select {
+	case <-tm.C():
+		t.Fatal("new system timer had a pending fire")
+	default:
+	}
+	tm.Reset(time.Millisecond)
+	select {
+	case <-tm.C():
+	case <-time.After(5 * time.Second):
+		t.Fatal("system timer did not fire")
+	}
+	if tm.Stop() {
+		t.Fatal("Stop after consumed fire reported armed")
+	}
+}

@@ -52,6 +52,13 @@ type Arena struct {
 	sink Sink
 	free [numClasses][]*entry
 	lent []*entry
+	// lentElems is the summed reserved capacity (float32 elements, full
+	// size classes) of outstanding buffers; peakLent is its high-water
+	// mark. Together they are the wide-lease accounting behind batched
+	// serving: one micro-batch borrows one wide buffer set instead of
+	// per-request narrow ones, and these numbers bound its footprint.
+	lentElems int
+	peakLent  int
 }
 
 // sizeClass maps an element count to its power-of-two class.
@@ -69,6 +76,23 @@ func sizeClass(n int) int {
 //
 //cbm:hotpath
 func (a *Arena) Borrow(rows, cols int) *dense.Matrix {
+	m := a.BorrowUninit(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+	return m
+}
+
+// BorrowUninit is Borrow without the zeroing pass: the returned
+// matrix holds whatever bits the recycled storage carried. Only for
+// destinations the caller fully overwrites before reading (every
+// multiply kernel in this repository overwrites its output, and the
+// batched gather covers every column stripe); the saved memset is
+// what makes wide micro-batch scratch — k× a request's footprint —
+// cheaper than k narrow borrows.
+//
+//cbm:hotpath
+func (a *Arena) BorrowUninit(rows, cols int) *dense.Matrix {
 	if rows < 0 || cols < 0 {
 		panic(fmt.Sprintf("exec: Borrow invalid shape %d×%d", rows, cols))
 	}
@@ -96,11 +120,12 @@ func (a *Arena) Borrow(rows, cols int) *dense.Matrix {
 	}
 	a.lent = a.lent[:len(a.lent)+1]
 	a.lent[len(a.lent)-1] = e
+	a.lentElems += 1 << class
+	if a.lentElems > a.peakLent {
+		a.peakLent = a.lentElems
+	}
 	e.m.Rows, e.m.Cols = rows, cols
 	e.m.Data = e.data[:n:n]
-	for i := range e.m.Data {
-		e.m.Data[i] = 0
-	}
 	return &e.m
 }
 
@@ -120,6 +145,7 @@ func (a *Arena) Release(m *dense.Matrix) {
 		a.lent[i] = a.lent[last]
 		a.lent[last] = nil
 		a.lent = a.lent[:last]
+		a.lentElems -= 1 << e.class
 		e.m.Data = nil // a released header must not alias live storage
 		fl := a.free[e.class]
 		if len(fl) >= keepPerClass {
@@ -142,6 +168,16 @@ func (a *Arena) Release(m *dense.Matrix) {
 // released — zero between well-behaved requests, which is what
 // gnn.Engine asserts when a lease returns to its pool.
 func (a *Arena) Outstanding() int { return len(a.lent) }
+
+// LentElems reports the summed reserved capacity, in float32 elements,
+// of currently outstanding buffers (size classes are powers of two, so
+// this is the storage actually pinned, not the shapes requested).
+func (a *Arena) LentElems() int { return a.lentElems }
+
+// PeakLentElems reports the high-water mark of LentElems over the
+// arena's lifetime — the wide-lease accounting number: for a batched
+// engine it bounds the widest concurrent scratch one batch ever held.
+func (a *Arena) PeakLentElems() int { return a.peakLent }
 
 // obtain is the Borrow miss path: recycle from the global class pool
 // or allocate fresh storage. Cold by construction, so it may allocate.

@@ -104,6 +104,13 @@ func (c *Ctx) Inc(ct obs.Counter) { c.sink.Inc(ct) }
 //cbm:hotpath
 func (c *Ctx) Borrow(rows, cols int) *dense.Matrix { return c.arena.Borrow(rows, cols) }
 
+// BorrowUninit leases a rows×cols matrix without zeroing it — only
+// for destinations the caller fully overwrites before reading (see
+// Arena.BorrowUninit). Release it like any borrow.
+//
+//cbm:hotpath
+func (c *Ctx) BorrowUninit(rows, cols int) *dense.Matrix { return c.arena.BorrowUninit(rows, cols) }
+
 // Release returns a borrowed matrix to the context's arena. Releasing
 // a matrix twice, or one this arena never lent, panics.
 //

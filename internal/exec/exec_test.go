@@ -174,3 +174,42 @@ func TestArenaCountsBorrowsAndGrows(t *testing.T) {
 		t.Fatalf("grows = %d, want 1", s.grows)
 	}
 }
+
+// TestArenaLeaseAccounting pins the wide-lease numbers behind batched
+// serving: LentElems tracks the reserved (size-class, power-of-two)
+// capacity of outstanding buffers and PeakLentElems its high-water
+// mark, so a micro-batch's one-wide-lease footprint is observable.
+func TestArenaLeaseAccounting(t *testing.T) {
+	var a Arena
+	if a.LentElems() != 0 || a.PeakLentElems() != 0 {
+		t.Fatalf("fresh arena lent=%d peak=%d", a.LentElems(), a.PeakLentElems())
+	}
+	x := a.Borrow(2, 3) // 6 elems → class 8
+	if a.LentElems() != 8 {
+		t.Fatalf("lent = %d, want 8 (class rounding)", a.LentElems())
+	}
+	y := a.Borrow(4, 4) // 16 elems → class 16
+	if a.LentElems() != 24 || a.PeakLentElems() != 24 {
+		t.Fatalf("lent = %d peak = %d, want 24/24", a.LentElems(), a.PeakLentElems())
+	}
+	a.Release(x)
+	if a.LentElems() != 16 {
+		t.Fatalf("lent after release = %d, want 16", a.LentElems())
+	}
+	a.Release(y)
+	if a.LentElems() != 0 {
+		t.Fatalf("lent after all releases = %d, want 0", a.LentElems())
+	}
+	// The peak persists: it reports the widest concurrent footprint ever
+	// held, not the current one.
+	if a.PeakLentElems() != 24 {
+		t.Fatalf("peak = %d, want 24", a.PeakLentElems())
+	}
+	// A single wide borrow (the batched-serving shape) moves the peak
+	// only if it exceeds the prior concurrent total.
+	w := a.Borrow(1, 20) // 20 elems → class 32
+	if a.LentElems() != 32 || a.PeakLentElems() != 32 {
+		t.Fatalf("wide lease lent=%d peak=%d, want 32/32", a.LentElems(), a.PeakLentElems())
+	}
+	a.Release(w)
+}

@@ -23,8 +23,11 @@ import (
 // can reject files it does not understand. v2 added the explicit
 // two-stage vs fused execution-plan timings (cbm_two_stage, cbm_fused,
 // fused_speedup, fused_s); v3 added end-to-end engine inference
-// latency (mean ± σ and p99 per request) under concurrency {1, 4, 8}.
-const BenchSchema = "cbm-bench/v3"
+// latency (mean ± σ and p99 per request) under concurrency {1, 4, 8};
+// v4 added concurrency 16 plus the micro-batched CBM serving column
+// (cbm_batched, batched_speedup, mean_batch_cols — batched vs
+// unbatched measured as their own drift-immune pair).
+const BenchSchema = "cbm-bench/v4"
 
 // BenchTiming is bench.Timing flattened to seconds for JSON.
 type BenchTiming struct {
@@ -88,11 +91,23 @@ type BenchLatency struct {
 // the same two-layer GCN served through gnn.Engine on the CSR and CBM
 // backends, single-threaded requests, Concurrency simultaneous
 // callers. Speedup is CSR mean latency over CBM mean latency.
+//
+// CBMBatched is the CBM backend served through the micro-batching
+// engine (requests coalesced into one wide SpMM per flush), measured
+// in its own paired run against the unbatched CBM engine so machine
+// drift cannot masquerade as a batching win: BatchedSpeedup is that
+// run's unbatched mean over the batched mean (> 1 means batching
+// wins), and MeanBatchCols is the mean wide-multiply width per flush
+// (from the obs batch counters) — how much column amortization the
+// level actually achieved.
 type BenchInference struct {
-	Concurrency int          `json:"concurrency"`
-	CSR         BenchLatency `json:"csr"`
-	CBM         BenchLatency `json:"cbm"`
-	Speedup     float64      `json:"speedup"`
+	Concurrency    int          `json:"concurrency"`
+	CSR            BenchLatency `json:"csr"`
+	CBM            BenchLatency `json:"cbm"`
+	Speedup        float64      `json:"speedup"`
+	CBMBatched     BenchLatency `json:"cbm_batched"`
+	BatchedSpeedup float64      `json:"batched_speedup"`
+	MeanBatchCols  float64      `json:"mean_batch_cols"`
 }
 
 // BenchReport is the top-level BENCH_cbm.json document.
@@ -205,8 +220,15 @@ func BenchJSON(cfg Config) (*BenchReport, error) {
 }
 
 // inferenceConcurrency are the serving concurrency levels probed by
-// the schema-v3 latency section.
-var inferenceConcurrency = [3]int{1, 4, 8}
+// the latency section (v4 added 16, where batching has the most
+// columns to coalesce).
+var inferenceConcurrency = [4]int{1, 4, 8, 16}
+
+// inferenceBatchWindow is the batched engine's flush window — the
+// fallback bound when concurrent arrivals don't fill the column budget
+// outright. Small against the per-request forward pass, so the conc=1
+// level (every batch a singleton) is not window-dominated.
+const inferenceBatchWindow = 250 * time.Microsecond
 
 // inferenceClasses is the output width of the benchmark GCN.
 const inferenceClasses = 16
@@ -228,7 +250,10 @@ func inferenceRounds(reps int) int {
 // level. Both backends are driven through bench.MeasurePaired — rounds
 // alternate which backend goes first, so machine drift biases neither
 // side — while per-request latencies are collected inside the rounds
-// (warm-up rounds discarded).
+// (warm-up rounds discarded). A second paired run at each level pits
+// the unbatched CBM engine against the micro-batching one (column
+// budget = concurrency × cols, so a full round coalesces into one
+// wide SpMM) for the v4 batched columns.
 func benchInference(adj *sparse.CSR, alpha int, cfg Config, rng *xrand.RNG) ([]BenchInference, error) {
 	csrB, err := gnn.NewCSRBackend(adj)
 	if err != nil {
@@ -290,7 +315,56 @@ func benchInference(adj *sparse.CSR, alpha int, cfg Config, rng *xrand.RNG) ([]B
 		if cbmL.MeanSeconds > 0 {
 			speedup = csr.MeanSeconds / cbmL.MeanSeconds
 		}
-		out = append(out, BenchInference{Concurrency: conc, CSR: csr, CBM: cbmL, Speedup: speedup})
+
+		// Second pair: unbatched vs micro-batched CBM serving. One
+		// execution slot on the batched side — its concurrency comes
+		// from coalescing, not parallel slots.
+		ebatch := gnn.NewEngine(model, cbmB, gnn.EngineConfig{
+			MaxInFlight: 1,
+			Threads:     1,
+			Batch: gnn.BatchConfig{
+				Window:  inferenceBatchWindow,
+				MaxCols: conc * cfg.Cols,
+			},
+		})
+		var plainLat, batchLat []float64
+		plainRound, batchRound := 0, 0
+		flushes0 := obs.CounterValue(obs.CounterBatchFlushes)
+		bcols0 := obs.CounterValue(obs.CounterBatchCols)
+		bench.MeasurePaired(rounds, warm,
+			func() {
+				l := fire(eb)
+				if plainRound++; plainRound > warm {
+					plainLat = append(plainLat, l...)
+				}
+			},
+			func() {
+				l := fire(ebatch)
+				if batchRound++; batchRound > warm {
+					batchLat = append(batchLat, l...)
+				}
+			},
+		)
+		meanBatchCols := 0.0
+		if df := obs.CounterValue(obs.CounterBatchFlushes) - flushes0; df > 0 {
+			meanBatchCols = float64(obs.CounterValue(obs.CounterBatchCols)-bcols0) / float64(df)
+		}
+		ebatch.Close()
+		plain, batched := toBenchLatency(plainLat), toBenchLatency(batchLat)
+		batchedSpeedup := math.NaN()
+		if batched.MeanSeconds > 0 {
+			batchedSpeedup = plain.MeanSeconds / batched.MeanSeconds
+		}
+
+		out = append(out, BenchInference{
+			Concurrency:    conc,
+			CSR:            csr,
+			CBM:            cbmL,
+			Speedup:        speedup,
+			CBMBatched:     batched,
+			BatchedSpeedup: batchedSpeedup,
+			MeanBatchCols:  meanBatchCols,
+		})
 	}
 	return out, nil
 }
@@ -346,6 +420,11 @@ func ReadBenchReport(r io.Reader) (*BenchReport, error) {
 				return nil, fmt.Errorf("experiments: bench report entry %s has a malformed inference block (concurrency %d)",
 					d.Name, inf.Concurrency)
 			}
+			if inf.CBMBatched.Requests <= 0 || inf.CBMBatched.MeanSeconds <= 0 ||
+				inf.CBMBatched.P99Seconds <= 0 || inf.MeanBatchCols <= 0 {
+				return nil, fmt.Errorf("experiments: bench report entry %s has a malformed batched-serving block (concurrency %d)",
+					d.Name, inf.Concurrency)
+			}
 		}
 	}
 	return &report, nil
@@ -379,6 +458,7 @@ func WriteBench(w io.Writer, r *BenchReport) {
 
 	inf := &bench.Table{Header: []string{
 		"Graph", "conc", "CSR mean", "CSR p99", "CBM mean", "CBM p99", "spd",
+		"CBMbatch mean", "CBMbatch p99", "bspd", "bcols",
 	}}
 	for _, d := range r.Datasets {
 		for _, b := range d.Inference {
@@ -389,11 +469,15 @@ func WriteBench(w io.Writer, r *BenchReport) {
 				fmt.Sprintf("%.4f (± %.4f)", b.CBM.MeanSeconds, b.CBM.StdSeconds),
 				fmt.Sprintf("%.4f", b.CBM.P99Seconds),
 				fmt.Sprintf("%.2f", b.Speedup),
+				fmt.Sprintf("%.4f (± %.4f)", b.CBMBatched.MeanSeconds, b.CBMBatched.StdSeconds),
+				fmt.Sprintf("%.4f", b.CBMBatched.P99Seconds),
+				fmt.Sprintf("%.2f", b.BatchedSpeedup),
+				fmt.Sprintf("%.0f", b.MeanBatchCols),
 			)
 		}
 	}
 	if len(inf.Rows) > 0 {
-		fmt.Fprint(w, "\nServing — per-request GCN2 engine latency (threads/request=1)\n")
+		fmt.Fprint(w, "\nServing — per-request GCN2 engine latency (threads/request=1; batch = micro-batched CBM)\n")
 		fmt.Fprint(w, inf.String())
 	}
 }

@@ -64,6 +64,19 @@ func TestBenchJSONRoundTrip(t *testing.T) {
 		if inf.Speedup <= 0 {
 			t.Fatalf("inference[%d] speedup %v not positive", i, inf.Speedup)
 		}
+		if inf.CBMBatched.Requests != wantReq {
+			t.Fatalf("inference[%d] batched requests = %d, want %d", i, inf.CBMBatched.Requests, wantReq)
+		}
+		if inf.CBMBatched.MeanSeconds <= 0 || inf.CBMBatched.P99Seconds <= 0 || inf.BatchedSpeedup <= 0 {
+			t.Fatalf("inference[%d] has a non-positive batched block: %+v", i, inf)
+		}
+		// Every request contributes its columns to some flush, so the
+		// mean flush width lies between one request's width and a full
+		// concurrency group's.
+		if inf.MeanBatchCols < float64(cfg.Cols) || inf.MeanBatchCols > float64(inf.Concurrency*cfg.Cols) {
+			t.Fatalf("inference[%d] mean batch cols %v outside [%d, %d]",
+				i, inf.MeanBatchCols, cfg.Cols, inf.Concurrency*cfg.Cols)
+		}
 	}
 
 	var buf bytes.Buffer
@@ -92,11 +105,16 @@ func TestReadBenchReportRejectsBadDocuments(t *testing.T) {
 		"wrong schema": `{"schema":"nope/v9","datasets":[{"name":"x","nodes":1}]}`,
 		"stale v1":     `{"schema":"cbm-bench/v1","datasets":[{"name":"x","nodes":1}]}`,
 		"stale v2":     `{"schema":"cbm-bench/v2","datasets":[{"name":"x","nodes":1}]}`,
-		"no datasets":  `{"schema":"cbm-bench/v3","datasets":[]}`,
+		"stale v3":     `{"schema":"cbm-bench/v3","datasets":[{"name":"x","nodes":1}]}`,
+		"no datasets":  `{"schema":"cbm-bench/v4","datasets":[]}`,
 		"not json":     `{`,
-		"unknown keys": `{"schema":"cbm-bench/v3","bogus":1,"datasets":[]}`,
-		"no inference": `{"schema":"cbm-bench/v3","datasets":[{"name":"x","nodes":1,` +
+		"unknown keys": `{"schema":"cbm-bench/v4","bogus":1,"datasets":[]}`,
+		"no inference": `{"schema":"cbm-bench/v4","datasets":[{"name":"x","nodes":1,` +
 			`"csr_spmm":{"mean_s":1},"cbm_mul":{"mean_s":1},"cbm_two_stage":{"mean_s":1},"cbm_fused":{"mean_s":1}}]}`,
+		"no batched serving": `{"schema":"cbm-bench/v4","datasets":[{"name":"x","nodes":1,` +
+			`"csr_spmm":{"mean_s":1},"cbm_mul":{"mean_s":1},"cbm_two_stage":{"mean_s":1},"cbm_fused":{"mean_s":1},` +
+			`"inference":[{"concurrency":1,` +
+			`"csr":{"requests":1,"mean_s":1,"p99_s":1},"cbm":{"requests":1,"mean_s":1,"p99_s":1},"speedup":1}]}]}`,
 	} {
 		if _, err := ReadBenchReport(strings.NewReader(doc)); err == nil {
 			t.Fatalf("%s: accepted", name)

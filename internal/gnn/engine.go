@@ -2,7 +2,9 @@ package gnn
 
 import (
 	"fmt"
+	"time"
 
+	"repro/internal/clock"
 	"repro/internal/dense"
 	"repro/internal/exec"
 	"repro/internal/obs"
@@ -34,6 +36,15 @@ type EngineConfig struct {
 	// where parallelism comes from concurrent requests rather than from
 	// intra-request worker teams.
 	Threads int
+	// Batch configures cross-request micro-batching: concurrent
+	// requests are coalesced into one wide forward pass that leases a
+	// single execution slot. The zero value leaves batching off. See
+	// BatchConfig.
+	Batch BatchConfig
+	// Clock supplies time to the batching scheduler. nil means the
+	// system clock; tests inject a clock.Fake to drive flush windows
+	// and deadlines deterministically.
+	Clock clock.Clock
 }
 
 // Engine is a concurrent batched-inference front-end: it owns one
@@ -46,10 +57,26 @@ type EngineConfig struct {
 // TestEngineInferZeroAlloc), and because every kernel's result is
 // invariant to its thread count, concurrent output is bitwise
 // identical to the sequential allocating path.
+//
+// With BatchConfig.Window set, the engine additionally coalesces
+// concurrent requests into micro-batches: requests arriving within one
+// flush window (or until the column budget fills) execute as a single
+// wide forward pass on one leased slot, amortizing the sparse
+// aggregation across every caller's feature columns. Batched output is
+// bitwise identical to the unbatched path (see BatchModel); only
+// scheduling changes. A batching engine owns a flusher goroutine —
+// call Close when done with it.
 type Engine struct {
 	model Model
-	adj   Adjacency
-	ctxs  chan *exec.Ctx
+	// batchModel is model's BatchModel side, resolved once at
+	// construction so the per-batch path performs no type assertion.
+	// nil when the model cannot batch (batches then run as back-to-back
+	// solo passes on the one leased slot).
+	batchModel BatchModel
+	adj        Adjacency
+	ctxs       chan *exec.Ctx
+	clk        clock.Clock
+	b          *batcher // nil when batching is disabled
 }
 
 // NewEngine builds an engine serving the given model over the given
@@ -63,9 +90,18 @@ func NewEngine(model Model, adj Adjacency, cfg EngineConfig) *Engine {
 	if threads <= 0 {
 		threads = 1
 	}
-	e := &Engine{model: model, adj: adj, ctxs: make(chan *exec.Ctx, slots)}
+	clk := cfg.Clock
+	if clk == nil {
+		clk = clock.System()
+	}
+	e := &Engine{model: model, adj: adj, ctxs: make(chan *exec.Ctx, slots), clk: clk}
+	e.batchModel, _ = model.(BatchModel)
 	for i := 0; i < slots; i++ {
 		e.ctxs <- exec.New(threads)
+	}
+	if cfg.Batch.Window > 0 {
+		e.b = newBatcher(e, cfg)
+		go e.b.loop()
 	}
 	return e
 }
@@ -79,25 +115,53 @@ func (e *Engine) Rows() int { return e.adj.Rows() }
 // OutDim returns the served model's output width.
 func (e *Engine) OutDim() int { return e.model.OutDim() }
 
+// Batching reports whether cross-request micro-batching is enabled.
+func (e *Engine) Batching() bool { return e.b != nil }
+
+// Close shuts down the batching scheduler, if any: already-queued
+// requests are served (one final drain flush), then the flusher
+// goroutine exits and further batched submissions would block forever
+// — stop submitting before closing. Idempotent; a no-op on an engine
+// without batching.
+func (e *Engine) Close() {
+	if e.b != nil {
+		e.b.close()
+	}
+}
+
 // InferTo serves one inference request, writing the logits for input
 // x (n×InDim) into the caller-owned out (n×OutDim). It blocks until
-// an execution slot frees; use TryInferTo for non-blocking admission.
+// an execution slot frees (unbatched) or until its micro-batch has
+// executed (batched); use TryInferTo for load-shedding admission.
 // Safe for concurrent use.
 //
 //cbm:hotpath
 func (e *Engine) InferTo(out, x *dense.Matrix) {
-	e.checkShapes(out, x)
+	if e.b != nil {
+		// Validate at submit, on the caller's goroutine: a malformed
+		// request must panic its own caller, never poison the batch it
+		// would have joined.
+		e.checkShapes(out, x)
+		e.b.do(out, x, time.Time{}, true)
+		return
+	}
 	ctx := <-e.ctxs
 	e.run(ctx, out, x)
 }
 
 // TryInferTo is InferTo with non-blocking admission: it reports false
-// without touching out when every execution slot is busy, letting
-// latency-sensitive callers shed load instead of queueing.
+// without touching out when every execution slot is busy (unbatched)
+// or the batch submit queue is saturated (batched), letting
+// latency-sensitive callers shed load instead of queueing. The shed
+// decision precedes validation, so a malformed request that would be
+// shed is shed, not panicked.
 //
 //cbm:hotpath
 func (e *Engine) TryInferTo(out, x *dense.Matrix) bool {
-	e.checkShapes(out, x)
+	if e.b != nil {
+		e.checkShapes(out, x)
+		return e.b.do(out, x, time.Time{}, false)
+	}
 	select {
 	case ctx := <-e.ctxs:
 		e.run(ctx, out, x)
@@ -107,6 +171,27 @@ func (e *Engine) TryInferTo(out, x *dense.Matrix) bool {
 	}
 }
 
+// InferDeadline is InferTo with a latency contract: a request whose
+// deadline has already expired when its batch flushes is shed — out is
+// left untouched and InferDeadline reports false — instead of being
+// served uselessly late. The deadline is checked only at flush
+// decisions, so a served request may still complete after its deadline
+// (execution is never aborted mid-batch); what the contract rules out
+// is *starting* work for a caller that has already given up. On an
+// engine without batching there is no flush decision and every request
+// is served.
+//
+//cbm:hotpath
+func (e *Engine) InferDeadline(out, x *dense.Matrix, deadline time.Time) bool {
+	if e.b != nil {
+		e.checkShapes(out, x)
+		return e.b.do(out, x, deadline, true)
+	}
+	ctx := <-e.ctxs
+	e.run(ctx, out, x)
+	return true
+}
+
 // Infer is the allocating convenience wrapper around InferTo.
 func (e *Engine) Infer(x *dense.Matrix) *dense.Matrix {
 	out := dense.New(e.adj.Rows(), e.model.OutDim())
@@ -114,11 +199,16 @@ func (e *Engine) Infer(x *dense.Matrix) *dense.Matrix {
 	return out
 }
 
-// run executes one admitted request on its leased context.
+// run executes one admitted request on its leased context. Shape
+// validation happens here, under the slot lease, so the request is
+// checked against the same adjacency state it executes on — the
+// ordering an atomic adjacency swap will need — and a panicking
+// validation still returns its slot through the deferred release.
 //
 //cbm:hotpath
 func (e *Engine) run(ctx *exec.Ctx, out, x *dense.Matrix) {
 	defer e.release(ctx)
+	e.checkShapes(out, x)
 	sp := ctx.Begin(obs.StageEngine)
 	ctx.Inc(obs.CounterEngineInfers)
 	e.model.InferTo(ctx, out, e.adj, x)
@@ -136,8 +226,9 @@ func (e *Engine) release(ctx *exec.Ctx) {
 	e.ctxs <- ctx
 }
 
-// checkShapes validates a request before admission, so a malformed
-// request cannot occupy (or poison) an execution slot.
+// checkShapes validates one request against the engine's adjacency and
+// model. Unbatched requests are validated under their slot lease (see
+// run); batched requests at submit, before joining a batch.
 func (e *Engine) checkShapes(out, x *dense.Matrix) {
 	n := e.adj.Rows()
 	if x.Rows != n || x.Cols != e.model.InDim() {

@@ -199,11 +199,49 @@ func TestEngineRejectsMalformedRequests(t *testing.T) {
 			call()
 		}()
 	}
-	// Rejection happens before admission, so the slot must survive.
+	// Rejection happens under the slot lease (so validation and
+	// execution see the same adjacency state); the deferred release
+	// must return the slot through the panic.
 	x := dense.New(n, 5)
 	out := dense.New(n, 2)
 	e.InferTo(out, x)
 	if !bitwiseEqual(out, model.Infer(csr, x, 1)) {
 		t.Fatal("engine broken after rejected requests")
+	}
+}
+
+// TestEngineShapeCheckUnderLeaseKeepsSlots is the regression test for
+// validation moving under the slot lease: a storm of malformed
+// requests — each panicking mid-admission, through InferTo and
+// TryInferTo both — must leave every execution slot in the pool.
+// (Before the fix, validation ran pre-admission; once it runs on the
+// leased context, only the deferred release keeps a panic from
+// leaking the slot.)
+func TestEngineShapeCheckUnderLeaseKeepsSlots(t *testing.T) {
+	csr, _ := testBackends(t, 78, 40)
+	n := csr.Rows()
+	model := NewGCN2(5, 4, 2, 79)
+	e := NewEngine(model, csr, EngineConfig{MaxInFlight: 2, Threads: 1})
+	bad := func(call func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("malformed request did not panic")
+			}
+		}()
+		call()
+	}
+	for i := 0; i < 10; i++ {
+		bad(func() { e.InferTo(dense.New(n, 2), dense.New(n, 9)) })
+		bad(func() { _ = e.TryInferTo(dense.New(n, 9), dense.New(n, 5)) })
+	}
+	if got := len(e.ctxs); got != e.Slots() {
+		t.Fatalf("panic storm left %d of %d slots in the pool", got, e.Slots())
+	}
+	// And the survivors still serve.
+	x := dense.New(n, 5)
+	out := dense.New(n, 2)
+	e.InferTo(out, x)
+	if !bitwiseEqual(out, model.Infer(csr, x, 1)) {
+		t.Fatal("engine broken after panic storm")
 	}
 }

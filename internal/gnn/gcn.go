@@ -48,6 +48,16 @@ func (g *GCN2) InferTo(ctx *exec.Ctx, out *dense.Matrix, a Adjacency, x *dense.M
 	sp.End()
 }
 
+// InferBatchTo serves several requests in one forward pass with a
+// single wide sparse aggregation per layer (BatchModel interface).
+// Output i is bitwise identical to InferTo on xs[i] alone.
+//
+//cbm:hotpath
+func (g *GCN2) InferBatchTo(ctx *exec.Ctx, outs []*dense.Matrix, a Adjacency, xs []*dense.Matrix) {
+	layers := [2]*GCNConv{g.L0, g.L1}
+	inferStackBatchTo(ctx, outs, layers[:], a, xs)
+}
+
 // InDim returns the input feature width (Model interface).
 func (g *GCN2) InDim() int { return g.L0.Lin.In }
 

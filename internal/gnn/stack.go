@@ -44,6 +44,15 @@ func (s *GCNStack) InferTo(ctx *exec.Ctx, out *dense.Matrix, a Adjacency, x *den
 	InferStackTo(ctx, out, s.Layers, a, x)
 }
 
+// InferBatchTo serves several requests in one forward pass with a
+// single wide sparse aggregation per layer (BatchModel interface).
+// Output i is bitwise identical to InferTo on xs[i] alone.
+//
+//cbm:hotpath
+func (s *GCNStack) InferBatchTo(ctx *exec.Ctx, outs []*dense.Matrix, a Adjacency, xs []*dense.Matrix) {
+	inferStackBatchTo(ctx, outs, s.Layers, a, xs)
+}
+
 // InDim returns the input feature width (Model interface).
 func (s *GCNStack) InDim() int { return s.Layers[0].Lin.In }
 

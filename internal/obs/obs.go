@@ -57,6 +57,14 @@ const (
 	// StageEngine is one gnn.Engine inference request end to end:
 	// admission wait included, so engine minus infer is queueing.
 	StageEngine
+	// StageBatch is one micro-batch execution end to end: slot
+	// admission, the wide forward pass, and the scatter back into every
+	// caller's buffer.
+	StageBatch
+	// StageBatchWait is one batched request's queue wait — submit to
+	// flush start. Its mean is the latency price of coalescing, bounded
+	// by the configured flush window.
+	StageBatchWait
 
 	numStages
 )
@@ -70,6 +78,8 @@ var stageNames = [numStages]string{
 	StageLayer:      "layer",
 	StageInfer:      "infer",
 	StageEngine:     "engine",
+	StageBatch:      "batch",
+	StageBatchWait:  "batch_wait",
 }
 
 func (s Stage) String() string {
@@ -111,6 +121,28 @@ const (
 	// not serve (global-pool recycles plus fresh allocations); in a
 	// warmed-up serving loop this counter stays flat.
 	CounterArenaGrows
+	// CounterBatchFlushes counts executed micro-batch flushes (empty
+	// flushes — every request shed — still count; they occupied a
+	// flush slot decision).
+	CounterBatchFlushes
+	// CounterBatchRequests counts requests served through batches, so
+	// batch_requests/batch_flushes is the mean batch size.
+	CounterBatchRequests
+	// CounterBatchCols accumulates the feature columns gathered into
+	// batches; batch_cols/batch_flushes is the mean wide-SpMM width.
+	CounterBatchCols
+	// CounterBatchFlushWindow counts flushes triggered by the flush
+	// window elapsing.
+	CounterBatchFlushWindow
+	// CounterBatchFlushBudget counts flushes triggered by the column
+	// budget filling before the window elapsed.
+	CounterBatchFlushBudget
+	// CounterBatchShedDeadline counts requests shed at flush because
+	// their deadline had already expired.
+	CounterBatchShedDeadline
+	// CounterBatchShedQueue counts TryInferTo-style rejections because
+	// the batch submit queue was saturated.
+	CounterBatchShedQueue
 
 	numCounters
 )
@@ -124,6 +156,14 @@ var counterNames = [numCounters]string{
 	CounterEngineInfers:  "engine_infers",
 	CounterArenaBorrows:  "arena_borrows",
 	CounterArenaGrows:    "arena_grows",
+
+	CounterBatchFlushes:      "batch_flushes",
+	CounterBatchRequests:     "batch_requests",
+	CounterBatchCols:         "batch_cols",
+	CounterBatchFlushWindow:  "batch_flush_window",
+	CounterBatchFlushBudget:  "batch_flush_budget",
+	CounterBatchShedDeadline: "batch_shed_deadline",
+	CounterBatchShedQueue:    "batch_shed_queue",
 }
 
 func (c Counter) String() string {
