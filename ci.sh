@@ -21,8 +21,19 @@ fi
 echo "==> go vet $PKGS"
 go vet "$PKGS"
 
-echo "==> cbmlint $PKGS"
-go run ./cmd/cbmlint "$PKGS"
+echo "==> cbmlint $PKGS (all analyzers incl. arenalease/ctxprop/determinism, JSON report)"
+# -json keeps the failure report stable and greppable; the report is
+# printed on failure so CI logs carry file/line/analyzer/message.
+if ! go run ./cmd/cbmlint -json "$PKGS" > cbmlint.report.json; then
+    echo "cbmlint: diagnostics found:" >&2
+    cat cbmlint.report.json >&2
+    rm -f cbmlint.report.json
+    exit 1
+fi
+rm -f cbmlint.report.json
+
+echo "==> lint self-test (CFG + dataflow analyzers + golden fixtures)"
+go test -count=1 ./internal/lint/...
 
 echo "==> go build $PKGS"
 go build "$PKGS"

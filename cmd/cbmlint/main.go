@@ -5,15 +5,24 @@
 //
 //	cbmlint ./...                 # whole module (what ci.sh runs)
 //	cbmlint -run hotalloc ./internal/kernels/...
+//	cbmlint -json ./...           # machine-readable report on stdout
 //	cbmlint -list
 //
 // It accepts the same package patterns as go vet, so CI can point both
 // tools at one shared pattern set. Diagnostics print as
-// file:line:col: [analyzer] message; the exit status is 1 when any
-// diagnostic was reported, 2 on usage or load errors.
+// file:line:col: [analyzer] message, or with -json as a JSON array of
+// {file, line, col, analyzer, message} objects ([] when clean) for
+// stable, greppable CI reports.
+//
+// Exit status:
+//
+//	0  no diagnostics
+//	1  one or more diagnostics reported
+//	2  usage error, unknown analyzer, or package load/type-check failure
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,10 +34,22 @@ import (
 	"repro/internal/obs"
 )
 
+// jsonDiagnostic is one -json report entry. The field set is the
+// contract ci.sh (and any other tooling) consumes; extend, don't
+// rename.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	var (
 		runList = flag.String("run", "", "comma-separated analyzer subset (default: all)")
 		list    = flag.Bool("list", false, "list analyzers and exit")
+		jsonOut = flag.Bool("json", false, "print diagnostics as a JSON array on stdout ([] when clean)")
 		metrics = flag.Bool("metrics", false, "dump the internal/obs metrics snapshot as JSON to stderr on exit")
 	)
 	flag.Parse()
@@ -62,7 +83,7 @@ func main() {
 	}
 
 	cwd, _ := os.Getwd()
-	found := 0
+	report := []jsonDiagnostic{} // non-nil so -json prints [] when clean
 	for _, pkg := range pkgs {
 		var diags []lint.Diagnostic
 		for _, a := range analyzers {
@@ -78,12 +99,29 @@ func main() {
 			if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
 				name = rel
 			}
-			outf("%s:%d:%d: [%s] %s\n", name, pos.Line, pos.Column, d.Analyzer, d.Message)
-			found++
+			report = append(report, jsonDiagnostic{
+				File:     name,
+				Line:     pos.Line,
+				Col:      pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+			if !*jsonOut {
+				outf("%s:%d:%d: [%s] %s\n", name, pos.Line, pos.Column, d.Analyzer, d.Message)
+			}
 		}
 	}
-	if found > 0 {
-		outf("cbmlint: %d diagnostic(s)\n", found)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fatalf("writing JSON report: %v", err)
+		}
+	}
+	if len(report) > 0 {
+		if !*jsonOut {
+			outf("cbmlint: %d diagnostic(s)\n", len(report))
+		}
 		os.Exit(1)
 	}
 	if *metrics {

@@ -17,7 +17,6 @@ package cbm
 
 import (
 	"fmt"
-	"time"
 
 	"repro/internal/parallel"
 	"repro/internal/sparse"
@@ -64,14 +63,14 @@ func CompressClustered(a *sparse.CSR, opt Options, copt ClusterOptions) (*Matrix
 	cluster, cstats := minhashClusters(a, hashes, copt.Seed, opt.Threads)
 
 	stats := BuildStats{Alpha: opt.Alpha}
-	start := time.Now()
+	start := buildClock.Now()
 	cand, pairs := buildCandidates(a, opt.Threads, opt.MaxCandidates, cluster)
-	stats.CandidateTime = time.Since(start)
+	stats.CandidateTime = buildClock.Now().Sub(start)
 	stats.IntersectingPairs = pairs
 	cstats.CandidateEdges = candidateEdgeCount(cand)
 	stats.CandidateEdges = cstats.CandidateEdges
 
-	treeStart := time.Now()
+	treeStart := buildClock.Now()
 	var parent []int32
 	var total int64
 	var err error
@@ -83,7 +82,7 @@ func CompressClustered(a *sparse.CSR, opt Options, copt ClusterOptions) (*Matrix
 			return nil, BuildStats{}, ClusterStats{}, err
 		}
 	}
-	stats.TreeTime = time.Since(treeStart)
+	stats.TreeTime = buildClock.Now().Sub(treeStart)
 	stats.TreeWeight = total
 	for _, p := range parent {
 		if p < 0 {
@@ -94,9 +93,9 @@ func CompressClustered(a *sparse.CSR, opt Options, copt ClusterOptions) (*Matrix
 	}
 	stats.Depth = treeDepth(parent)
 
-	deltaStart := time.Now()
+	deltaStart := buildClock.Now()
 	delta := buildDeltaMatrix(a, parent, opt.Threads)
-	stats.DeltaTime = time.Since(deltaStart)
+	stats.DeltaTime = buildClock.Now().Sub(deltaStart)
 
 	m := &Matrix{
 		n:        a.Rows,

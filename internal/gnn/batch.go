@@ -282,8 +282,14 @@ func (b *batcher) loop() {
 
 // enqueue adds one request to the pending batch and decides whether it
 // tips the batch over the column budget.
+//
+//cbm:hotpath
 func (b *batcher) enqueue(r *batchReq) {
-	b.pending = append(b.pending, r)
+	if len(b.pending) == cap(b.pending) {
+		b.growPending()
+	}
+	b.pending = b.pending[:len(b.pending)+1]
+	b.pending[len(b.pending)-1] = r
 	b.pendingCols += r.x.Cols
 	if b.pendingCols >= b.maxCols {
 		if b.armed {
@@ -301,8 +307,39 @@ func (b *batcher) enqueue(r *batchReq) {
 	}
 }
 
+// growPending reallocates the pending list with doubled capacity.
+// Cold: it runs only when a batch gathers more requests than any
+// before it.
+func (b *batcher) growPending() {
+	np := make([]*batchReq, len(b.pending), 2*cap(b.pending)+1)
+	copy(np, b.pending)
+	b.pending = np
+}
+
+// ensureScratch guarantees the per-flush scratch slices can hold n
+// requests without growing mid-flush. Cold beyond new high-water
+// marks: it reallocates only when a batch is larger than any before.
+func (b *batcher) ensureScratch(n int) {
+	if cap(b.serve) >= n {
+		return
+	}
+	b.serve = make([]*batchReq, 0, n)
+	b.shed = make([]*batchReq, 0, n)
+	b.outs = make([]*dense.Matrix, 0, n)
+	b.xs = make([]*dense.Matrix, 0, n)
+}
+
+// leakMsg builds the poisoned-slot panic payload. Out of line (and
+// already typed any) so the hot flush path does no fmt boxing — the
+// kindPanicMsg idiom.
+func leakMsg(n int) any {
+	return fmt.Sprintf("gnn: batched request leaked %d arena buffer(s)", n)
+}
+
 // stopTimer disarms the flush timer, draining a fire that raced in —
 // without the drain, a stale fire would flush the *next* batch early.
+//
+//cbm:hotpath
 func (b *batcher) stopTimer() {
 	b.armed = false
 	if !b.timer.Stop() {
@@ -316,6 +353,8 @@ func (b *batcher) stopTimer() {
 // flush executes the pending batch: expired-deadline requests are
 // shed, the rest run as one wide forward pass on one leased context,
 // and every waiter hears its outcome.
+//
+//cbm:hotpath
 func (b *batcher) flush(reason int) {
 	obs.Inc(obs.CounterBatchFlushes)
 	switch reason {
@@ -325,6 +364,7 @@ func (b *batcher) flush(reason int) {
 		obs.Inc(obs.CounterBatchFlushBudget)
 	}
 	now := b.clk.Now()
+	b.ensureScratch(len(b.pending))
 	b.serve, b.shed = b.serve[:0], b.shed[:0]
 	b.outs, b.xs = b.outs[:0], b.xs[:0]
 	cols := 0
@@ -332,11 +372,15 @@ func (b *batcher) flush(reason int) {
 		r.wait.End()
 		if !r.deadline.IsZero() && now.After(r.deadline) {
 			obs.Inc(obs.CounterBatchShedDeadline)
-			b.shed = append(b.shed, r)
+			b.shed = b.shed[:len(b.shed)+1]
+			b.shed[len(b.shed)-1] = r
 		} else {
-			b.serve = append(b.serve, r)
-			b.outs = append(b.outs, r.out)
-			b.xs = append(b.xs, r.x)
+			b.serve = b.serve[:len(b.serve)+1]
+			b.serve[len(b.serve)-1] = r
+			b.outs = b.outs[:len(b.outs)+1]
+			b.outs[len(b.outs)-1] = r.out
+			b.xs = b.xs[:len(b.xs)+1]
+			b.xs[len(b.xs)-1] = r.x
 			cols += r.x.Cols
 		}
 		b.pending[i] = nil
@@ -357,7 +401,7 @@ func (b *batcher) flush(reason int) {
 			// per batch. The context is poisoned — handing it to the
 			// next tenant would alias its scratch — so the slot
 			// retires and every waiter panics instead.
-			pv = fmt.Sprintf("gnn: batched request leaked %d arena buffer(s)", n)
+			pv = leakMsg(n)
 		} else {
 			b.eng.ctxs <- ctx
 		}
@@ -373,6 +417,8 @@ func (b *batcher) flush(reason int) {
 // runBatch executes the gathered requests on the leased context,
 // converting a panic into a value so the flusher survives and each
 // submitter re-panics on its own goroutine.
+//
+//cbm:hotpath
 func (b *batcher) runBatch(ctx *exec.Ctx) (pv any) {
 	defer func() { pv = recover() }()
 	sp := ctx.Begin(obs.StageBatch)
@@ -430,6 +476,8 @@ func (b *batcher) close() {
 
 // getReq pops a pooled request (or allocates the pool's next one —
 // cold; the free list makes the steady state allocation-free).
+//
+//cbm:hotpath
 func (b *batcher) getReq() *batchReq {
 	b.freeMu.Lock()
 	r := b.free
@@ -439,13 +487,21 @@ func (b *batcher) getReq() *batchReq {
 	}
 	b.freeMu.Unlock()
 	if r == nil {
-		r = &batchReq{done: make(chan batchOutcome, 1)}
+		r = newBatchReq()
 	}
 	return r
 }
 
+// newBatchReq allocates a fresh pooled request, done channel included.
+// Cold: the free list serves the steady state.
+func newBatchReq() *batchReq {
+	return &batchReq{done: make(chan batchOutcome, 1)}
+}
+
 // putReq returns a request to the pool, dropping matrix references so
 // a pooled request cannot pin a caller's buffers.
+//
+//cbm:hotpath
 func (b *batcher) putReq(r *batchReq) {
 	r.out, r.x = nil, nil
 	r.deadline = time.Time{}

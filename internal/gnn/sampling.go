@@ -2,6 +2,7 @@ package gnn
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/blas"
 	"repro/internal/dense"
@@ -81,6 +82,9 @@ func SAGEBatch(layers []*SAGEConv, sampler *Sampler, x *dense.Matrix, batch []in
 		for v := range need {
 			frontier = append(frontier, v)
 		}
+		// The map yields the needed nodes in random order; sort so the
+		// frontier (and everything downstream of it) is deterministic.
+		sort.Slice(frontier, func(i, j int) bool { return frontier[i] < frontier[j] })
 		frontiers[k-1] = frontier
 	}
 

@@ -1,0 +1,385 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file builds the intraprocedural control-flow graph the dataflow
+// analyzers (arenalease, ctxprop) walk. The per-function AST pattern
+// matching of the first-generation analyzers cannot see that a borrow
+// on one branch is released on another, or that an early return skips
+// a release; the CFG makes every such path explicit: one block per
+// maximal straight-line statement run, edges for branches, loops,
+// switch/select dispatch, explicit panics and returns.
+//
+// Design points that matter to the analyses on top:
+//
+//   - A block that ends in a branch records the condition expression
+//     (Cond); Succs[0] is the true edge and Succs[1] the false edge, so
+//     a path-sensitive analysis can refine its state per edge.
+//   - Explicit `panic(...)` statements edge to PanicExit, a distinct
+//     exit from the ordinary Exit reached by returns and fall-off: the
+//     arena-lease contract demands releases on panic-guard exits too,
+//     and keeping the exits apart lets diagnostics say which path
+//     leaked.
+//   - `defer` statements are ordinary block nodes; their at-every-exit
+//     semantics are applied by the analysis (which records deferred
+//     releases in its dataflow state), not duplicated into edges.
+//   - `goto` (and a labeled break/continue to an unknown label) sets
+//     HasGoto instead of building edges; analyses skip such functions
+//     rather than reason on an incomplete graph. Nothing in this
+//     repository uses goto.
+
+// A CFG is the control-flow graph of one function body.
+type CFG struct {
+	Blocks []*Block
+	// Entry is the block control enters at the top of the body.
+	Entry *Block
+	// Exit is the ordinary exit: every return statement and the body's
+	// fall-off end edge here.
+	Exit *Block
+	// PanicExit is the abnormal exit reached by explicit panic(...)
+	// statements.
+	PanicExit *Block
+	// HasGoto reports the body contains a goto (or a branch to a label
+	// the builder could not resolve); the graph is incomplete and
+	// dataflow analyses must skip the function.
+	HasGoto bool
+}
+
+// A Block is one straight-line run of statements. Nodes holds the
+// statements and control expressions in execution order; the slice may
+// be empty for join points.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	// Cond, when non-nil, is the branch condition evaluated after the
+	// last node; Succs[0] is then the true edge and Succs[1] the false
+	// edge. Blocks with nil Cond treat every successor alike.
+	Cond  ast.Expr
+	Succs []*Block
+}
+
+// cfgBuilder carries the construction state.
+type cfgBuilder struct {
+	p   *Pass
+	cfg *CFG
+	cur *Block
+	// scopes is the enclosing loop/switch stack break and continue
+	// resolve against.
+	scopes []ctrlScope
+	// ftTarget is the next case block, the target of a fallthrough.
+	ftTarget *Block
+}
+
+type ctrlScope struct {
+	label       string
+	breakTarget *Block
+	contTarget  *Block // nil for switch/select scopes
+}
+
+// BuildCFG constructs the control-flow graph of fn's body. fn must
+// have a body; p supplies type information for panic detection.
+func BuildCFG(p *Pass, fn *ast.FuncDecl) *CFG {
+	b := &cfgBuilder{p: p, cfg: &CFG{}}
+	b.cfg.Entry = b.newBlock()
+	b.cfg.Exit = b.newBlock()
+	b.cfg.PanicExit = b.newBlock()
+	b.cur = b.cfg.Entry
+	for _, s := range fn.Body.List {
+		b.stmt(s)
+	}
+	b.edge(b.cur, b.cfg.Exit) // fall off the end
+	return b.cfg
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+}
+
+// add appends a node to the current block.
+func (b *cfgBuilder) add(n ast.Node) {
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+// deadEnd parks construction in a fresh predecessor-less block, the
+// state after return/panic/break/continue.
+func (b *cfgBuilder) deadEnd() {
+	b.cur = b.newBlock()
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			b.stmt(st)
+		}
+	case *ast.LabeledStmt:
+		b.labeledStmt(s)
+	case *ast.IfStmt:
+		b.ifStmt(s, "")
+	case *ast.ForStmt:
+		b.forStmt(s, "")
+	case *ast.RangeStmt:
+		b.rangeStmt(s, "")
+	case *ast.SwitchStmt:
+		b.switchStmt(s.Init, s.Tag, nil, s.Body, "")
+	case *ast.TypeSwitchStmt:
+		b.switchStmt(s.Init, nil, s.Assign, s.Body, "")
+	case *ast.SelectStmt:
+		b.selectStmt(s, "")
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.cur, b.cfg.Exit)
+		b.deadEnd()
+	case *ast.ExprStmt:
+		b.add(s)
+		if call, ok := s.X.(*ast.CallExpr); ok && builtinName(b.p, call) == "panic" {
+			b.edge(b.cur, b.cfg.PanicExit)
+			b.deadEnd()
+		}
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+	default:
+		// Assignments, declarations, defer, go, send, incdec, empty:
+		// straight-line nodes.
+		b.add(s)
+	}
+}
+
+// labeledStmt attaches the label to the statement it governs so
+// labeled break/continue resolve.
+func (b *cfgBuilder) labeledStmt(s *ast.LabeledStmt) {
+	label := s.Label.Name
+	switch inner := s.Stmt.(type) {
+	case *ast.ForStmt:
+		b.forStmt(inner, label)
+	case *ast.RangeStmt:
+		b.rangeStmt(inner, label)
+	case *ast.SwitchStmt:
+		b.switchStmt(inner.Init, inner.Tag, nil, inner.Body, label)
+	case *ast.TypeSwitchStmt:
+		b.switchStmt(inner.Init, nil, inner.Assign, inner.Body, label)
+	case *ast.SelectStmt:
+		b.selectStmt(inner, label)
+	case *ast.IfStmt:
+		b.ifStmt(inner, label)
+	default:
+		// A bare labeled statement (goto target): the label cannot be
+		// branched to without goto, which already poisons the graph.
+		b.stmt(s.Stmt)
+	}
+}
+
+func (b *cfgBuilder) ifStmt(s *ast.IfStmt, label string) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	b.add(s.Cond)
+	head := b.cur
+	head.Cond = s.Cond
+	then := b.newBlock()
+	after := b.newBlock()
+	b.edge(head, then)
+	var els *Block
+	if s.Else != nil {
+		els = b.newBlock()
+		b.edge(head, els)
+	} else {
+		b.edge(head, after)
+	}
+	_ = label // labeled if supports no break; label recorded for symmetry only
+	b.cur = then
+	b.stmt(s.Body)
+	b.edge(b.cur, after)
+	if s.Else != nil {
+		b.cur = els
+		b.stmt(s.Else)
+		b.edge(b.cur, after)
+	}
+	b.cur = after
+}
+
+func (b *cfgBuilder) forStmt(s *ast.ForStmt, label string) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	head := b.newBlock()
+	b.edge(b.cur, head)
+	body := b.newBlock()
+	after := b.newBlock()
+	var post *Block
+	if s.Post != nil {
+		post = b.newBlock()
+		post.Nodes = append(post.Nodes, s.Post)
+		b.edge(post, head)
+	}
+	cont := head
+	if post != nil {
+		cont = post
+	}
+	if s.Cond != nil {
+		head.Nodes = append(head.Nodes, s.Cond)
+		head.Cond = s.Cond
+		b.edge(head, body)
+		b.edge(head, after)
+	} else {
+		b.edge(head, body) // for {}: after reachable only via break
+	}
+	b.scopes = append(b.scopes, ctrlScope{label: label, breakTarget: after, contTarget: cont})
+	b.cur = body
+	b.stmt(s.Body)
+	b.edge(b.cur, cont)
+	b.scopes = b.scopes[:len(b.scopes)-1]
+	b.cur = after
+}
+
+func (b *cfgBuilder) rangeStmt(s *ast.RangeStmt, label string) {
+	head := b.newBlock()
+	b.edge(b.cur, head)
+	// The range statement itself lives in the head: it evaluates X and
+	// (re)assigns the key/value variables once per iteration.
+	head.Nodes = append(head.Nodes, s)
+	body := b.newBlock()
+	after := b.newBlock()
+	b.edge(head, body)
+	b.edge(head, after)
+	b.scopes = append(b.scopes, ctrlScope{label: label, breakTarget: after, contTarget: head})
+	b.cur = body
+	b.stmt(s.Body)
+	b.edge(b.cur, head)
+	b.scopes = b.scopes[:len(b.scopes)-1]
+	b.cur = after
+}
+
+// switchStmt builds both expression and type switches: the head
+// dispatches to every case block; a missing default adds a fall-past
+// edge; fallthrough edges to the next case body.
+func (b *cfgBuilder) switchStmt(init ast.Stmt, tag ast.Expr, assign ast.Stmt, body *ast.BlockStmt, label string) {
+	if init != nil {
+		b.stmt(init)
+	}
+	if tag != nil {
+		b.add(tag)
+	}
+	if assign != nil {
+		b.add(assign)
+	}
+	head := b.cur
+	after := b.newBlock()
+	var clauses []*ast.CaseClause
+	for _, c := range body.List {
+		clauses = append(clauses, c.(*ast.CaseClause))
+	}
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, c := range clauses {
+		blocks[i] = b.newBlock()
+		b.edge(head, blocks[i])
+		if c.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		b.edge(head, after)
+	}
+	b.scopes = append(b.scopes, ctrlScope{label: label, breakTarget: after})
+	for i, c := range clauses {
+		b.cur = blocks[i]
+		for _, e := range c.List {
+			b.add(e)
+		}
+		savedFT := b.ftTarget
+		if i+1 < len(blocks) {
+			b.ftTarget = blocks[i+1]
+		} else {
+			b.ftTarget = after
+		}
+		for _, st := range c.Body {
+			b.stmt(st)
+		}
+		b.ftTarget = savedFT
+		b.edge(b.cur, after)
+	}
+	b.scopes = b.scopes[:len(b.scopes)-1]
+	b.cur = after
+}
+
+func (b *cfgBuilder) selectStmt(s *ast.SelectStmt, label string) {
+	head := b.cur
+	after := b.newBlock()
+	b.scopes = append(b.scopes, ctrlScope{label: label, breakTarget: after})
+	for _, c := range s.Body.List {
+		cc := c.(*ast.CommClause)
+		blk := b.newBlock()
+		b.edge(head, blk)
+		b.cur = blk
+		if cc.Comm != nil {
+			b.stmt(cc.Comm)
+		}
+		for _, st := range cc.Body {
+			b.stmt(st)
+		}
+		b.edge(b.cur, after)
+	}
+	b.scopes = b.scopes[:len(b.scopes)-1]
+	b.cur = after
+}
+
+func (b *cfgBuilder) branchStmt(s *ast.BranchStmt) {
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok {
+	case token.BREAK:
+		if t := b.findScope(label, false); t != nil {
+			b.edge(b.cur, t)
+			b.deadEnd()
+			return
+		}
+		b.cfg.HasGoto = true
+		b.deadEnd()
+	case token.CONTINUE:
+		if t := b.findScope(label, true); t != nil {
+			b.edge(b.cur, t)
+			b.deadEnd()
+			return
+		}
+		b.cfg.HasGoto = true
+		b.deadEnd()
+	case token.FALLTHROUGH:
+		if b.ftTarget != nil {
+			b.edge(b.cur, b.ftTarget)
+		}
+		b.deadEnd()
+	case token.GOTO:
+		b.cfg.HasGoto = true
+		b.deadEnd()
+	}
+}
+
+// findScope resolves a break (or continue, when cont is set) target.
+func (b *cfgBuilder) findScope(label string, cont bool) *Block {
+	for i := len(b.scopes) - 1; i >= 0; i-- {
+		sc := b.scopes[i]
+		if cont && sc.contTarget == nil {
+			continue // break-only scope (switch/select)
+		}
+		if label != "" && sc.label != label {
+			continue
+		}
+		if cont {
+			return sc.contTarget
+		}
+		return sc.breakTarget
+	}
+	return nil
+}

@@ -1,0 +1,293 @@
+package lint
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// checkSrc type-checks one in-memory source file as package p and
+// returns it as a loaded Package, so CFG and dataflow tests can state
+// their scenarios inline instead of through fixture files.
+func checkSrc(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parsing test source: %v", err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	tpkg, err := conf.Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("type-checking test source: %v", err)
+	}
+	return &Package{Path: "p", Fset: fset, Files: []*ast.File{f}, Types: tpkg, Info: info}
+}
+
+// buildCFG builds the CFG of the first function declaration named name.
+func buildCFG(t *testing.T, pkg *Package, name string) *CFG {
+	t.Helper()
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+				pass := &Pass{Fset: pkg.Fset, Files: pkg.Files, Path: pkg.Path, Pkg: pkg.Types, Info: pkg.Info}
+				return BuildCFG(pass, fd)
+			}
+		}
+	}
+	t.Fatalf("no function %q in test source", name)
+	return nil
+}
+
+func hasEdge(from, to *Block) bool {
+	for _, s := range from.Succs {
+		if s == to {
+			return true
+		}
+	}
+	return false
+}
+
+// anyEdgeTo reports whether any block in the graph edges to target.
+func anyEdgeTo(cfg *CFG, target *Block) bool {
+	for _, b := range cfg.Blocks {
+		if hasEdge(b, target) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCFGBranch(t *testing.T) {
+	pkg := checkSrc(t, `package p
+func f(cond bool) int {
+	x := 1
+	if cond {
+		x = 2
+	} else {
+		x = 3
+	}
+	return x
+}`)
+	cfg := buildCFG(t, pkg, "f")
+	if cfg.HasGoto {
+		t.Fatal("unexpected HasGoto")
+	}
+	// Exactly one block carries the branch condition, with a true and a
+	// false edge to two distinct blocks.
+	var head *Block
+	for _, b := range cfg.Blocks {
+		if b.Cond != nil {
+			if head != nil {
+				t.Fatalf("more than one condition block")
+			}
+			head = b
+		}
+	}
+	if head == nil {
+		t.Fatal("no condition block built for the if")
+	}
+	if len(head.Succs) != 2 || head.Succs[0] == head.Succs[1] {
+		t.Fatalf("condition block has successors %v, want two distinct edges", head.Succs)
+	}
+	if !anyEdgeTo(cfg, cfg.Exit) {
+		t.Fatal("no edge reaches Exit")
+	}
+	if anyEdgeTo(cfg, cfg.PanicExit) {
+		t.Fatal("PanicExit should be unreachable without a panic statement")
+	}
+}
+
+func TestCFGPanicEdge(t *testing.T) {
+	pkg := checkSrc(t, `package p
+func f(n int) int {
+	if n < 0 {
+		panic("negative")
+	}
+	return n
+}`)
+	cfg := buildCFG(t, pkg, "f")
+	if !anyEdgeTo(cfg, cfg.PanicExit) {
+		t.Fatal("explicit panic must edge to PanicExit")
+	}
+	if !anyEdgeTo(cfg, cfg.Exit) {
+		t.Fatal("the return must edge to Exit")
+	}
+}
+
+func TestCFGLoopBackEdge(t *testing.T) {
+	pkg := checkSrc(t, `package p
+func f(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}`)
+	cfg := buildCFG(t, pkg, "f")
+	var head *Block
+	for _, b := range cfg.Blocks {
+		if b.Cond != nil {
+			head = b
+		}
+	}
+	if head == nil {
+		t.Fatal("loop head with condition not built")
+	}
+	// Some path from the head's body successor must lead back to the
+	// head (through the post block).
+	seen := map[*Block]bool{}
+	var reaches func(b *Block) bool
+	reaches = func(b *Block) bool {
+		if b == head {
+			return true
+		}
+		if seen[b] {
+			return false
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			if reaches(s) {
+				return true
+			}
+		}
+		return false
+	}
+	if !reaches(head.Succs[0]) {
+		t.Fatal("loop body does not edge back to the head")
+	}
+}
+
+func TestCFGGotoBailout(t *testing.T) {
+	pkg := checkSrc(t, `package p
+func f(n int) int {
+loop:
+	n--
+	if n > 0 {
+		goto loop
+	}
+	return n
+}`)
+	cfg := buildCFG(t, pkg, "f")
+	if !cfg.HasGoto {
+		t.Fatal("goto must set HasGoto so dataflow analyses skip the function")
+	}
+}
+
+// ---------------------------------------------------------------------
+// Dataflow scenarios over the CFG (through the arenalease analyzer):
+// branch leak, defer-release, panic-guard, loop-carried borrow.
+// ---------------------------------------------------------------------
+
+// arenaPrelude gives the inline scenarios the minimal Ctx/Matrix
+// surface the analyzer matches on.
+const arenaPrelude = `package p
+type Matrix struct{ r, c int }
+type Ctx struct{}
+func (x *Ctx) Borrow(r, c int) *Matrix { return &Matrix{r, c} }
+func (x *Ctx) Release(m *Matrix)       {}
+func use(m *Matrix)                    {}
+`
+
+func arenaDiags(t *testing.T, body string) []Diagnostic {
+	t.Helper()
+	return RunAnalyzer(ArenaLease, checkSrc(t, arenaPrelude+body))
+}
+
+func TestDataflowBranchLeak(t *testing.T) {
+	diags := arenaDiags(t, `
+func f(ctx *Ctx, shed bool) {
+	m := ctx.Borrow(2, 2)
+	if shed {
+		return
+	}
+	ctx.Release(m)
+}`)
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "not released on every path") {
+		t.Fatalf("want one branch-leak diagnostic, got %v", diags)
+	}
+}
+
+func TestDataflowDeferRelease(t *testing.T) {
+	diags := arenaDiags(t, `
+func f(ctx *Ctx, n int) {
+	m := ctx.Borrow(n, n)
+	defer ctx.Release(m)
+	if n < 0 {
+		panic("bad")
+	}
+	use(m)
+}`)
+	if len(diags) != 0 {
+		t.Fatalf("defer must discharge the obligation on every exit, got %v", diags)
+	}
+}
+
+func TestDataflowPanicGuardLeak(t *testing.T) {
+	diags := arenaDiags(t, `
+func f(ctx *Ctx, n int) {
+	m := ctx.Borrow(n, n)
+	if n < 0 {
+		panic("bad")
+	}
+	use(m)
+	ctx.Release(m)
+}`)
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "panic exit") {
+		t.Fatalf("want one panic-exit leak diagnostic, got %v", diags)
+	}
+}
+
+func TestDataflowLoopCarriedBorrow(t *testing.T) {
+	diags := arenaDiags(t, `
+func f(ctx *Ctx, layers int) {
+	var prev *Matrix
+	for i := 0; i < layers; i++ {
+		cur := ctx.Borrow(4, 4)
+		use(cur)
+		if prev != nil {
+			ctx.Release(prev)
+			prev = nil
+		}
+		prev = cur
+	}
+	if prev != nil {
+		ctx.Release(prev)
+	}
+}`)
+	if len(diags) != 0 {
+		t.Fatalf("loop-carried borrow with trailing release is clean, got %v", diags)
+	}
+}
+
+func TestDataflowLoopCarriedLeak(t *testing.T) {
+	// Same shape but the trailing release is missing: every world
+	// leaving the loop still holds the last lease.
+	diags := arenaDiags(t, `
+func f(ctx *Ctx, layers int) {
+	var prev *Matrix
+	for i := 0; i < layers; i++ {
+		cur := ctx.Borrow(4, 4)
+		use(cur)
+		if prev != nil {
+			ctx.Release(prev)
+			prev = nil
+		}
+		prev = cur
+	}
+}`)
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "not released on every path") {
+		t.Fatalf("want one loop-exit leak diagnostic, got %v", diags)
+	}
+}

@@ -1,0 +1,269 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxProp enforces exec.Ctx propagation: a function that holds a Ctx
+// and calls an API which has a `...Ctx` (or destination-writing `...To`)
+// sibling must call the sibling. Calling `MulTo` where `MulToCtx`
+// exists silently drops the arena and the obs sink on the floor — the
+// call still computes the right numbers, so no test catches it, but
+// the pooled-buffer and stage-timer plumbing of PR 5 quietly stops at
+// that frame.
+//
+// The check is flow-sensitive over the CFG: a Ctx "reaches" a call if
+// some path defines one (receiver, parameter, or local assignment)
+// before the call. Calls upstream of the first Ctx definition are not
+// flagged — there is nothing to propagate yet.
+//
+// Exemptions, by design:
+//
+//   - The call already passes a Ctx-typed argument (it *is* the
+//     propagating variant, or an equivalent).
+//   - The enclosing function is the adapter the convention requires:
+//     `MulToCtx` calling `MulTo` is how the Ctx variant is implemented,
+//     not a violation.
+//   - Calls inside func literals are skipped: a closure handed to the
+//     worker pool runs on the pool's schedule and takes its knobs
+//     explicitly.
+var CtxProp = &Analyzer{
+	Name: "ctxprop",
+	Doc: "a function holding an exec.Ctx must call the ...Ctx/...To variant " +
+		"of an API when one exists instead of dropping the context",
+	Run: runCtxProp,
+}
+
+func runCtxProp(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			cp := &ctxPropFunc{p: p, fd: fd}
+			cp.run()
+		}
+	}
+}
+
+type ctxPropFunc struct {
+	p  *Pass
+	fd *ast.FuncDecl
+}
+
+func (c *ctxPropFunc) run() {
+	// Ctx objects available from function entry: receiver + parameters.
+	entrySet := map[types.Object]bool{}
+	if c.fd.Recv != nil {
+		for _, field := range c.fd.Recv.List {
+			c.addCtxNames(entrySet, field.Names)
+		}
+	}
+	if c.fd.Type.Params != nil {
+		for _, field := range c.fd.Type.Params.List {
+			c.addCtxNames(entrySet, field.Names)
+		}
+	}
+	// Are there any Ctx-typed locals at all? If entry is empty and no
+	// local ever has Ctx type, skip the dataflow.
+	hasLocal := false
+	ast.Inspect(c.fd.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := c.p.Info.Defs[id]; obj != nil && isCtxType(obj.Type()) {
+				hasLocal = true
+			}
+		}
+		return !hasLocal
+	})
+	if len(entrySet) == 0 && !hasLocal {
+		return
+	}
+
+	cfg := BuildCFG(c.p, c.fd)
+	if cfg.HasGoto {
+		return
+	}
+	in := make([]map[types.Object]bool, len(cfg.Blocks))
+	in[cfg.Entry.Index] = entrySet
+	work := []*Block{cfg.Entry}
+	queued := make([]bool, len(cfg.Blocks))
+	queued[cfg.Entry.Index] = true
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		queued[blk.Index] = false
+		out := c.transfer(blk, in[blk.Index], false)
+		for _, succ := range blk.Succs {
+			changed := false
+			if in[succ.Index] == nil {
+				in[succ.Index] = map[types.Object]bool{}
+			}
+			for obj := range out {
+				if !in[succ.Index][obj] {
+					in[succ.Index][obj] = true
+					changed = true
+				}
+			}
+			if changed && !queued[succ.Index] {
+				work = append(work, succ)
+				queued[succ.Index] = true
+			}
+		}
+	}
+	for _, blk := range cfg.Blocks {
+		if in[blk.Index] != nil {
+			c.transfer(blk, in[blk.Index], true)
+		}
+	}
+}
+
+func (c *ctxPropFunc) addCtxNames(set map[types.Object]bool, names []*ast.Ident) {
+	for _, name := range names {
+		if obj := c.p.Info.Defs[name]; obj != nil && isCtxType(obj.Type()) {
+			set[obj] = true
+		}
+	}
+}
+
+// transfer walks one block: checks calls against the current
+// ctx-available set, then adds Ctx definitions the block makes.
+func (c *ctxPropFunc) transfer(blk *Block, inSet map[types.Object]bool, report bool) map[types.Object]bool {
+	out := make(map[types.Object]bool, len(inSet))
+	for obj := range inSet {
+		out[obj] = true
+	}
+	for _, n := range blk.Nodes {
+		ast.Inspect(n, func(nn ast.Node) bool {
+			switch nn := nn.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.CallExpr:
+				if report && len(out) > 0 {
+					c.checkCall(nn)
+				}
+			case *ast.Ident:
+				if obj := c.p.Info.Defs[nn]; obj != nil && isCtxType(obj.Type()) {
+					out[obj] = true
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// checkCall flags a call that has a Ctx/To sibling but passes no Ctx.
+func (c *ctxPropFunc) checkCall(call *ast.CallExpr) {
+	if isConversion(c.p, call) || builtinName(c.p, call) != "" {
+		return
+	}
+	name := calleeBaseName(call)
+	if name == "" {
+		return
+	}
+	// Already propagating: a Ctx-typed argument is in the call.
+	for _, arg := range call.Args {
+		if isCtxType(c.p.TypeOf(arg)) {
+			return
+		}
+	}
+	// Adapter exemption: the Ctx variant is conventionally implemented
+	// by delegating to the plain form.
+	encl := c.fd.Name.Name
+	if encl == name+"Ctx" || encl == name+"To" {
+		return
+	}
+	if variant := c.findSibling(call, name+"Ctx", true); variant != "" {
+		c.p.Reportf(call.Pos(), "ctxprop: call to %s drops the exec.Ctx in scope; use %s", name, variant)
+		return
+	}
+	if !strings.HasSuffix(name, "To") && !strings.HasSuffix(name, "Ctx") {
+		if variant := c.findSibling(call, name+"To", false); variant != "" {
+			c.p.Reportf(call.Pos(), "ctxprop: call to %s allocates its result; with an exec.Ctx in scope use %s with an arena buffer", name, variant)
+		}
+	}
+}
+
+// calleeBaseName extracts the called function/method name, or "".
+func calleeBaseName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// findSibling looks for a sibling function/method of the callee with
+// the given name. For Ctx siblings the candidate must take a Ctx
+// parameter; To siblings must take at least one parameter (the
+// destination). Returns the sibling's name when found.
+func (c *ctxPropFunc) findSibling(call *ast.CallExpr, sibling string, wantCtxParam bool) string {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		// Unqualified: same-package function.
+		obj = c.p.Pkg.Scope().Lookup(sibling)
+	case *ast.SelectorExpr:
+		if id, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			if pn, ok := c.p.Info.Uses[id].(*types.PkgName); ok {
+				obj = pn.Imported().Scope().Lookup(sibling)
+				break
+			}
+		}
+		recv := c.p.TypeOf(fun.X)
+		if recv == nil {
+			return ""
+		}
+		found, _, _ := types.LookupFieldOrMethod(recv, true, c.p.Pkg, sibling)
+		obj = found
+	default:
+		return ""
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || !fn.Exported() && fn.Pkg() != c.p.Pkg {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return ""
+	}
+	if wantCtxParam {
+		for i := 0; i < sig.Params().Len(); i++ {
+			if isCtxType(sig.Params().At(i).Type()) {
+				return sibling
+			}
+		}
+		return ""
+	}
+	if sig.Params().Len() == 0 {
+		return ""
+	}
+	// A ...To variant writes into a caller buffer: its first parameter
+	// is a pointer (or slice) destination.
+	switch sig.Params().At(0).Type().Underlying().(type) {
+	case *types.Pointer, *types.Slice:
+		return sibling
+	}
+	return ""
+}
+
+// isCtxType reports whether t names exec.Ctx (matched by type name,
+// like the other analyzers, so fixtures can define their own Ctx).
+func isCtxType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return named.Obj().Name() == "Ctx"
+}

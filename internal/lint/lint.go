@@ -25,6 +25,21 @@
 //     accumulation loops
 //   - errignore:        no silently discarded error returns in the I/O
 //     and CLI packages
+//
+// The second generation (cfg.go) grows the suite from per-function AST
+// pattern matching into a small dataflow engine — an intraprocedural
+// CFG with branch, defer and panic edges — and three contract checkers
+// on top of it:
+//
+//   - arenalease:  Arena.Borrow/BorrowUninit results are released
+//     exactly once on every path (early returns and panic exits
+//     included), never twice, never used after release, never into a
+//     different arena
+//   - ctxprop:     a function holding an exec.Ctx calls the ...Ctx/...To
+//     variant of an API when one exists instead of dropping the context
+//   - determinism: hot-path packages must not leak map iteration order
+//     into float accumulations or output slices, and must use
+//     internal/clock / internal/xrand rather than time.Now / math/rand
 package lint
 
 import (
@@ -84,7 +99,7 @@ func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
 
 // All returns the full analyzer suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{HotAlloc, ShapePanic, GoroutineCapture, FloatMix, ErrIgnore}
+	return []*Analyzer{HotAlloc, ShapePanic, GoroutineCapture, FloatMix, ErrIgnore, ArenaLease, CtxProp, Determinism}
 }
 
 // Get returns the analyzer with the given name, or nil.

@@ -15,6 +15,9 @@ func TestShapePanicGolden(t *testing.T)       { RunGolden(t, ShapePanic) }
 func TestGoroutineCaptureGolden(t *testing.T) { RunGolden(t, GoroutineCapture) }
 func TestFloatMixGolden(t *testing.T)         { RunGolden(t, FloatMix) }
 func TestErrIgnoreGolden(t *testing.T)        { RunGolden(t, ErrIgnore) }
+func TestArenaLeaseGolden(t *testing.T)       { RunGolden(t, ArenaLease) }
+func TestCtxPropGolden(t *testing.T)          { RunGolden(t, CtxProp) }
+func TestDeterminismGolden(t *testing.T)      { RunGolden(t, Determinism) }
 
 func TestAllListsEveryAnalyzerOnce(t *testing.T) {
 	seen := map[string]bool{}
@@ -46,6 +49,23 @@ func TestErrIgnoreScope(t *testing.T) {
 	} {
 		if got := ErrIgnore.Scope(path); got != want {
 			t.Errorf("ErrIgnore.Scope(%q) = %v, want %v", path, got, want)
+		}
+	}
+}
+
+func TestDeterminismScope(t *testing.T) {
+	for path, want := range map[string]bool{
+		"repro/internal/cbm":      true,
+		"repro/internal/kernels":  true,
+		"repro/internal/gnn":      true,
+		"repro/internal/exec":     true,
+		"repro/internal/parallel": true,
+		"repro/internal/clock":    false, // the clock seam wraps time itself
+		"repro/internal/bench":    false, // measurement code reads real time
+		"repro/cmd/gcnserve":      false,
+	} {
+		if got := Determinism.Scope(path); got != want {
+			t.Errorf("Determinism.Scope(%q) = %v, want %v", path, got, want)
 		}
 	}
 }

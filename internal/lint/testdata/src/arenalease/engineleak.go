@@ -1,0 +1,50 @@
+// Regression fixture reproducing the engine leak-check scenario
+// (internal/gnn/batch.go): the flusher borrows ONE wide slot for the
+// whole batch and a shed/error path returns without releasing it. At
+// runtime Arena.Outstanding() only catches this after the slot is
+// poisoned — the waiters panic and the slot retires. arenalease
+// catches the same shape at review time, before any request is lost.
+package arenalease
+
+// flushLeaky is the bug: the over-budget shed path skips the release.
+func flushLeaky(ctx *Ctx, rows, cols, budget int) int {
+	wide := ctx.BorrowUninit(rows, cols) // want `arenalease: borrow is not released on every path \(return at line \d+\)`
+	if cols > budget {
+		return 0
+	}
+	use(wide)
+	ctx.Release(wide)
+	return cols
+}
+
+// flushFixed is the repair: every exit — shed, panic guard, success —
+// returns the slot.
+func flushFixed(ctx *Ctx, rows, cols, budget int) int {
+	wide := ctx.BorrowUninit(rows, cols)
+	if cols > budget {
+		ctx.Release(wide)
+		return 0
+	}
+	if rows <= 0 {
+		ctx.Release(wide)
+		panic("gnn: batch with no rows")
+	}
+	use(wide)
+	ctx.Release(wide)
+	return cols
+}
+
+// flushDeferred is the other sanctioned repair: a deferred release
+// covers the shed return and the panic guard alike.
+func flushDeferred(ctx *Ctx, rows, cols, budget int) int {
+	wide := ctx.BorrowUninit(rows, cols)
+	defer ctx.Release(wide)
+	if cols > budget {
+		return 0
+	}
+	if rows <= 0 {
+		panic("gnn: batch with no rows")
+	}
+	use(wide)
+	return cols
+}

@@ -1,0 +1,85 @@
+// Fixture for the ctxprop analyzer: a function holding a Ctx must call
+// the ...Ctx/...To variant of an API when one exists; adapters, calls
+// that already pass a Ctx, closure bodies and pre-Ctx calls are exempt.
+package ctxprop
+
+type Ctx struct{ threads int }
+
+func (c *Ctx) Threads() int { return c.threads }
+
+func newCtx() *Ctx { return &Ctx{threads: 1} }
+
+type Matrix struct{ rows, cols int }
+
+// MulTo has a Ctx sibling; Forward has a To sibling; Scale has neither.
+func (m *Matrix) MulTo(dst, b *Matrix, threads int) {}
+
+// MulToCtx is the adapter: its delegation to MulTo is the convention,
+// not a violation.
+func (m *Matrix) MulToCtx(dst, b *Matrix, ctx *Ctx) {
+	m.MulTo(dst, b, ctx.Threads())
+}
+
+func (m *Matrix) Forward(x *Matrix) *Matrix { return x }
+
+func (m *Matrix) ForwardTo(dst, x *Matrix) {}
+
+func (m *Matrix) Scale(alpha float32) {}
+
+// SpMM exercises the package-function (non-method) lookup path.
+func SpMM(dst, a, b *Matrix, threads int) {}
+
+func SpMMCtx(dst, a, b *Matrix, ctx *Ctx) {
+	SpMM(dst, a, b, ctx.Threads())
+}
+
+// Positive: ctx is in scope, MulToCtx exists, MulTo is called anyway.
+func dropsCtx(m, dst, b *Matrix, ctx *Ctx) {
+	m.MulTo(dst, b, ctx.Threads()) // want `ctxprop: call to MulTo drops the exec\.Ctx in scope; use MulToCtx`
+}
+
+// Positive: allocating variant used while a Ctx (and so an arena) is
+// in scope.
+func allocatesWithCtx(m, x *Matrix, ctx *Ctx) *Matrix {
+	return m.Forward(x) // want `ctxprop: call to Forward allocates its result; with an exec\.Ctx in scope use ForwardTo`
+}
+
+// Positive: package-level function with a Ctx sibling.
+func dropsCtxPkgFunc(dst, a, b *Matrix, ctx *Ctx) {
+	SpMM(dst, a, b, ctx.Threads()) // want `ctxprop: call to SpMM drops the exec\.Ctx in scope; use SpMMCtx`
+}
+
+// Negative: the variant itself passes the Ctx.
+func propagatesOK(m, dst, b *Matrix, ctx *Ctx) {
+	m.MulToCtx(dst, b, ctx)
+	SpMMCtx(dst, b, b, ctx)
+}
+
+// Negative: no Ctx anywhere in the function.
+func noCtxOK(m, dst, b *Matrix, threads int) {
+	m.MulTo(dst, b, threads)
+	_ = m.Forward(b)
+}
+
+// Negative: no sibling variant exists for Scale.
+func noVariantOK(m *Matrix, ctx *Ctx) {
+	m.Scale(2)
+	_ = ctx
+}
+
+// Mixed: the first call precedes any Ctx definition and is clean; the
+// second follows one and is flagged. (Flow-sensitivity: the Ctx must
+// *reach* the call.)
+func lateCtx(m, dst, b *Matrix) {
+	m.MulTo(dst, b, 1)
+	ctx := newCtx()
+	m.MulTo(dst, b, ctx.Threads()) // want `ctxprop: call to MulTo drops the exec\.Ctx in scope; use MulToCtx`
+}
+
+// Negative: calls inside func literals run on someone else's schedule
+// and take their knobs explicitly.
+func closureOK(m, dst, b *Matrix, ctx *Ctx, run func(func())) {
+	run(func() {
+		m.MulTo(dst, b, 1)
+	})
+}

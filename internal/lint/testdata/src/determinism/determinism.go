@@ -1,0 +1,91 @@
+// Fixture for the determinism analyzer: map iteration order must not
+// leak into float accumulations or output slices, and wall-clock /
+// global randomness must go through internal/clock / internal/xrand.
+// Collect-then-sort, integer accumulation, loop-local state and time
+// arithmetic are the sanctioned patterns.
+package determinism
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Positive: float addition does not commute in rounding, so the sum's
+// bits depend on Go's randomized map order.
+func floatAccum(scores map[int]float64) float64 {
+	var sum float64
+	for _, v := range scores {
+		sum += v // want `determinism: float accumulation over map iteration order`
+	}
+	return sum
+}
+
+// Positive: the self-referencing spelling accumulates too.
+func floatAccumSpelled(scores map[int]float32) float32 {
+	var sum float32
+	for _, v := range scores {
+		sum = sum + v // want `determinism: float accumulation over map iteration order`
+	}
+	return sum
+}
+
+// Positive: the output slice records the random iteration order.
+func appendUnsorted(need map[int]bool) []int {
+	var out []int
+	for v := range need {
+		out = append(out, v) // want `determinism: append to out in map iteration order`
+	}
+	return out
+}
+
+// Positive: direct wall-clock reads.
+func wallClock() time.Duration {
+	start := time.Now()      // want `determinism: direct time\.Now in a hot-path package`
+	return time.Since(start) // want `determinism: direct time\.Since in a hot-path package`
+}
+
+// Positive: global randomness.
+func randomJitter() float64 {
+	return rand.Float64() // want `determinism: rand\.Float64 uses global randomness`
+}
+
+// Negative: collect-then-sort is the sanctioned idiom — the append is
+// exempt because the function visibly sorts the slice.
+func sortedKeysOK(scores map[int]float64) float64 {
+	keys := make([]int, 0, len(scores))
+	for k := range scores {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var sum float64
+	for _, k := range keys {
+		sum += scores[k]
+	}
+	return sum
+}
+
+// Negative: integer addition commutes; order cannot change the result.
+func intAccumOK(counts map[int]int) int {
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	return total
+}
+
+// Negative: loop-local state dies with the iteration.
+func loopLocalOK(m map[int][]float64, out []float64) {
+	for _, vs := range m {
+		local := 0.0
+		for _, v := range vs {
+			local = v
+		}
+		out[int(local)%len(out)] = 1
+	}
+}
+
+// Negative: time types and duration arithmetic are deterministic.
+func durationOK(d time.Duration) time.Duration {
+	return d * time.Millisecond
+}
