@@ -75,4 +75,15 @@ go run ./cmd/cbmbench -exp bench -datasets cora -cols 16 -reps 3 -warmup 1 \
 go run ./cmd/cbmbench -check-bench BENCH_cbm.smoke.json
 rm -f BENCH_cbm.smoke.json
 
+echo "==> calibrate sweep smoke (mini registry -> temp CALIBRATION.json)"
+go run ./cmd/calibrate -plans -mini -datasets cora,collab -reps 3 -warmup 1 \
+    -out CALIBRATION.smoke.json >/dev/null
+rm -f CALIBRATION.smoke.json
+
+echo "==> selector model staleness gate (committed CALIBRATION.json vs model_default.go)"
+go run ./cmd/calibrate -check-model
+
+echo "==> selector acceptance gate smoke (fresh mini measurements)"
+go run ./cmd/calibrate -gate -mini -datasets cora,collab -reps 3 -warmup 1
+
 echo "ci: OK"

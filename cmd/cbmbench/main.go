@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"repro/internal/bench"
+	"repro/internal/cbm"
 	"repro/internal/experiments"
 	"repro/internal/obs"
 )
@@ -43,8 +44,17 @@ func main() {
 		checkBench   = flag.String("check-bench", "", "validate an existing bench report file and exit")
 		metrics      = flag.Bool("metrics", false, "dump the internal/obs metrics snapshot as JSON to stderr on exit")
 		profile      = flag.Bool("stage-labels", false, "attach pprof cbm_stage goroutine labels to instrumented regions")
+		plan         = flag.String("plan", "", "process-wide plan mode for MulTo: auto, heuristic, two-stage, fused or csr (default auto; also CBM_PLAN)")
 	)
 	flag.Parse()
+
+	if *plan != "" {
+		pm, err := cbm.ParsePlanMode(*plan)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		cbm.SetPlanMode(pm)
+	}
 
 	if *checkBench != "" {
 		f, err := os.Open(*checkBench)

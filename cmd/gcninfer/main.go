@@ -29,10 +29,18 @@ func main() {
 		train       = flag.Bool("train", false, "also run a short training loop on both backends")
 		metrics     = flag.Bool("metrics", false, "dump the internal/obs metrics snapshot as JSON to stderr on exit")
 		stageLabels = flag.Bool("stage-labels", false, "tag pipeline stages with runtime/pprof labels (cbm_stage=...)")
+		plan        = flag.String("plan", "", "process-wide plan mode for MulTo: auto, heuristic, two-stage, fused or csr (default auto; also CBM_PLAN)")
 	)
 	flag.Parse()
 	if *stageLabels {
 		obs.EnableProfiling()
+	}
+	if *plan != "" {
+		pm, err := cbm.ParsePlanMode(*plan)
+		if err != nil {
+			fatal(err)
+		}
+		cbm.SetPlanMode(pm)
 	}
 
 	d, err := bench.Get(*dataset)
@@ -63,6 +71,8 @@ func main() {
 	model := gnn.NewGCN2(*cols, *cols, *cols, *seed+7)
 
 	th := *threads
+	outf("plan selector: mode=%s, chosen=%s (threads=%d cols=%d)\n",
+		cbm.CurrentPlanMode(), cbmBackend.M.PlanFor(th, *cols), th, *cols)
 	tCSR := bench.Measure(*reps, 1, func() { model.Infer(csrBackend, x, th) })
 	// Stage deltas around the CBM measurement expose which execution
 	// plan MulTo's cost model picked (fused single-pass vs two-stage).

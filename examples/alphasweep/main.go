@@ -59,7 +59,7 @@ func main() {
 			speedup,
 			float64(m.NumDeltas())/float64(a.NNZ()),
 			stats.VirtualKids,
-			costmodel.ModeledSpeedup(a, m, 64, 16),
+			costmodel.ModeledSpeedup(a, m.Shape(), 64, 16),
 		)
 	}
 	fmt.Printf("\nbest sequential α for this graph: %d (%.2f×)\n", bestAlpha, bestSpeedup)

@@ -153,3 +153,32 @@ func TestMiniRegistry(t *testing.T) {
 		t.Fatalf("mini name %q", minis[0].Name)
 	}
 }
+
+func TestMeasureInterleaved(t *testing.T) {
+	calls := [3]int{}
+	tms := MeasureInterleaved(4, 2,
+		func() { calls[0]++ },
+		func() { calls[1]++ },
+		func() { calls[2]++ })
+	if len(tms) != 3 {
+		t.Fatalf("got %d timings, want 3", len(tms))
+	}
+	for k, c := range calls {
+		if c != 6 {
+			t.Fatalf("candidate %d ran %d times, want 4 reps + 2 warmup", k, c)
+		}
+		if tms[k].Reps != 4 {
+			t.Fatalf("candidate %d Reps = %d", k, tms[k].Reps)
+		}
+	}
+	if MeasureInterleaved(3, 1) != nil {
+		t.Fatal("no candidates must yield nil")
+	}
+	// Every candidate is timed exactly once per round even when the
+	// rotation wraps (reps > len(fs)).
+	calls = [3]int{}
+	MeasureInterleaved(7, 0, func() { calls[0]++ }, func() { calls[1]++ }, func() { calls[2]++ })
+	if calls != [3]int{7, 7, 7} {
+		t.Fatalf("unequal rounds: %v", calls)
+	}
+}

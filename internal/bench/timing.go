@@ -73,6 +73,41 @@ func MeasurePaired(reps, warm int, f, g func()) (Timing, Timing) {
 	return summarize(fs), summarize(gs)
 }
 
+// MeasureInterleaved generalizes MeasurePaired to N alternatives: each
+// round times one run of every candidate, rotating which starts the
+// round, so machine drift is shared evenly across all of them. This is
+// the measurement the plan-selector calibration uses — comparing three
+// plans with three separate Measure calls would let minutes-apart
+// machine state masquerade as a plan difference and poison the fit.
+func MeasureInterleaved(reps, warm int, fs ...func()) []Timing {
+	if len(fs) == 0 {
+		return nil
+	}
+	if reps < 1 {
+		reps = 1
+	}
+	for i := 0; i < warm; i++ {
+		for _, f := range fs {
+			f()
+		}
+	}
+	samples := make([][]float64, len(fs))
+	for k := range samples {
+		samples[k] = make([]float64, reps)
+	}
+	for i := 0; i < reps; i++ {
+		for j := range fs {
+			k := (i + j) % len(fs)
+			samples[k][i] = timeOne(fs[k])
+		}
+	}
+	out := make([]Timing, len(fs))
+	for k := range out {
+		out[k] = summarize(samples[k])
+	}
+	return out
+}
+
 func timeOne(f func()) float64 {
 	start := time.Now()
 	f()

@@ -3,6 +3,7 @@ package cbm
 import (
 	"repro/internal/bench"
 	"repro/internal/dense"
+	"repro/internal/exec"
 	"repro/internal/obs"
 	"repro/internal/xrand"
 )
@@ -16,14 +17,19 @@ type TuneResult struct {
 	Seconds float64
 	Std     float64
 	// SpMMSeconds and UpdateSeconds split the mean multiplication time
-	// into the two pipeline stages (Sec. V-A), attributed via the
-	// internal/obs span timers; FusedSeconds is the mean time MulTo
-	// spent in the fused single-pass plan instead (its cost model picks
-	// per call, so a mix of plans is possible within one α). All are 0
-	// when obs is disabled.
+	// into the two pipeline stages (Sec. V-A); FusedSeconds is the mean
+	// time spent in the fused single-pass plan instead; the CSR plan
+	// reports under SpMMSeconds (it is all SpMM). Attribution goes
+	// through a per-tune obs.Recorder scoped to this measurement's
+	// exec.Ctx, so concurrent multiplies elsewhere in the process cannot
+	// leak into the split (reading global obs.StageTotals deltas here
+	// used to double-count them). All are 0 when obs is disabled.
 	SpMMSeconds   float64
 	UpdateSeconds float64
 	FusedSeconds  float64
+	// Plan is the execution plan the selector picks for this α at the
+	// measured thread count and operand width (PlanFor).
+	Plan string
 	// Ratio is the CSR/CBM footprint compression ratio at this α.
 	Ratio float64
 }
@@ -56,33 +62,31 @@ func AutoTune(b *Builder, alphas []int, cols, reps, threads int, seed uint64) (b
 	c := dense.New(n, cols)
 	csrBytes := b.a.FootprintBytes()
 
+	// Stage attribution is scoped: the measured multiplies run under a
+	// context whose sink is this Recorder, so only their spans land in
+	// the split. Warmup runs also record spans, so the divisor is every
+	// call inside the region.
+	rec := obs.NewRecorder()
+	ctx := exec.NewWithSink(threads, rec)
+
 	bestTime := -1.0
 	for _, alpha := range alphas {
 		m, _, cerr := b.Compress(alpha, false)
 		if cerr != nil {
 			return nil, 0, nil, cerr
 		}
-		// Stage deltas around the measured region attribute its time to
-		// the delta-SpMM vs. tree-update stages (or the fused single
-		// pass, when MulTo's cost model picks that plan). Warmup runs
-		// also record spans, so the divisor is every call inside the
-		// region.
-		_, spmm0 := obs.StageTotals(obs.StageSpMM)
-		_, upd0 := obs.StageTotals(obs.StageUpdate)
-		_, fus0 := obs.StageTotals(obs.StageFused)
-		tm := bench.Measure(reps, warmup, func() { m.MulTo(c, x, threads) })
-		_, spmm1 := obs.StageTotals(obs.StageSpMM)
-		_, upd1 := obs.StageTotals(obs.StageUpdate)
-		_, fus1 := obs.StageTotals(obs.StageFused)
+		rec.Reset()
+		tm := bench.Measure(reps, warmup, func() { m.MulToCtx(ctx, c, x) })
 		calls := float64(reps + warmup)
 		secs := tm.Seconds()
 		frontier = append(frontier, TuneResult{
 			Alpha:         alpha,
 			Seconds:       secs,
 			Std:           tm.Std.Seconds(),
-			SpMMSeconds:   float64(spmm1-spmm0) / 1e9 / calls,
-			UpdateSeconds: float64(upd1-upd0) / 1e9 / calls,
-			FusedSeconds:  float64(fus1-fus0) / 1e9 / calls,
+			SpMMSeconds:   rec.StageSeconds(obs.StageSpMM) / calls,
+			UpdateSeconds: rec.StageSeconds(obs.StageUpdate) / calls,
+			FusedSeconds:  rec.StageSeconds(obs.StageFused) / calls,
+			Plan:          m.PlanFor(ctx.Threads(), cols).String(),
 			Ratio:         float64(csrBytes) / float64(m.FootprintBytes()),
 		})
 		if bestTime < 0 || secs < bestTime {

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/clock"
+	"repro/internal/costmodel"
 	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/sparse"
@@ -105,20 +106,67 @@ type Matrix struct {
 	branchLPT  []int32 // branch indices sorted by descending cost (LPT order)
 	totalCost  int64   // Σ branchCost
 	maxCost    int64   // max branchCost — the fused critical path
+
+	// Plan-selector inputs (initSchedule). deltaNNZ/deltaRowMax describe
+	// the delta matrix; srcNNZ is nnz of the represented matrix,
+	// reconstructed from the delta signs so it is available even for
+	// decoded artifacts that no longer carry the original CSR.
+	deltaNNZ    int64
+	deltaRowMax int64
+	srcNNZ      int64
+
+	// CSR-plan source: the original binary matrix and the diagonal
+	// scales of the represented factorization, kept so MulTo can bypass
+	// the compression tree entirely (StrategyCSR) when the calibrated
+	// selector decides the tree is pure overhead. nil after Decode — the
+	// encoded artifact does not include the original — in which case the
+	// CSR plan is unavailable (see HasCSRPlan) and the selector falls
+	// back to the CBM plans.
+	src      *sparse.CSR
+	srcLeft  []float32 // diag(left) of the represented matrix; nil = identity
+	srcRight []float32 // diag(right); nil = identity
 }
 
 // initSchedule precomputes the fused kernel's cost model: per-branch
-// costs, the longest-processing-time-first claim order, and the
-// aggregate/critical-path totals the MulTo strategy heuristic reads.
-// Costs depend only on the delta matrix's sparsity structure, so the
-// scaled views (AD, DAD) share them with their KindA base.
+// costs, the longest-processing-time-first claim order, the
+// aggregate/critical-path totals, and the delta-sparsity summary the
+// plan selector's feature extraction reads (deltaNNZ, deltaRowMax,
+// srcNNZ). Costs depend only on the delta matrix's sparsity structure,
+// so the scaled views (AD, DAD) share them with their KindA base.
+//
+// srcNNZ — nnz of the represented matrix — is reconstructed from the
+// delta signs: walking a branch in pre-order, nnz(A_x) is the parent's
+// nnz plus the +deltas minus the −deltas of row x (virtual-root
+// children are all +deltas). This keeps the feature available for
+// decoded artifacts, which do not carry the original CSR.
 func (m *Matrix) initSchedule() {
 	m.branchCost = make([]int64, len(m.branches))
 	m.branchLPT = make([]int32, len(m.branches))
+	rowNNZ := make([]int64, m.n) // nnz of each reconstructed source row
 	for bi, branch := range m.branches {
 		cost := int64(len(branch))
 		for _, x := range branch {
-			cost += int64(m.delta.RowNNZ(int(x)))
+			rnnz := int64(m.delta.RowNNZ(int(x)))
+			cost += rnnz
+			m.deltaNNZ += rnnz
+			if rnnz > m.deltaRowMax {
+				m.deltaRowMax = rnnz
+			}
+			_, vals := m.delta.Row(int(x))
+			var plus, minus int64
+			for _, v := range vals {
+				if v > 0 {
+					plus++
+				} else if v < 0 {
+					minus++
+				}
+			}
+			if p := m.parent[x]; p >= 0 {
+				rowNNZ[x] = rowNNZ[p] + plus - minus
+			} else {
+				rowNNZ[x] = plus
+			}
+			m.srcNNZ += rowNNZ[x]
 		}
 		m.branchCost[bi] = cost
 		m.branchLPT[bi] = int32(bi)
@@ -212,6 +260,7 @@ func (b *Builder) Compress(alpha int, forceMCA bool) (*Matrix, BuildStats, error
 		delta:    delta,
 		parent:   parent,
 		branches: branchDecompose(parent),
+		src:      b.a,
 	}
 	m.initSchedule()
 	return m, stats, nil
@@ -351,6 +400,32 @@ func (m *Matrix) BranchSizes() []int {
 // use it to report sparsity.
 func (m *Matrix) Delta() *sparse.CSR { return m.delta }
 
+// Shape returns the structural summary the costmodel package's
+// work/span model consumes.
+func (m *Matrix) Shape() costmodel.MatrixShape {
+	real, virtual := 0, 0
+	for _, p := range m.parent {
+		if p >= 0 {
+			real++
+		} else {
+			virtual++
+		}
+	}
+	return costmodel.MatrixShape{
+		Rows:        m.n,
+		DeltaNNZ:    int64(m.delta.NNZ()),
+		RealEdges:   real,
+		VirtualKids: virtual,
+		DAD:         m.kind == KindDAD,
+		BranchSizes: m.BranchSizes(),
+	}
+}
+
+// HasCSRPlan reports whether the matrix still carries its source CSR,
+// making StrategyCSR (and the selector's PlanCSR choice) available.
+// Decoded artifacts do not.
+func (m *Matrix) HasCSRPlan() bool { return m.src != nil }
+
 // Diag returns the DAD diagonal (nil for A and AD kinds).
 func (m *Matrix) Diag() []float32 { return m.diag }
 
@@ -384,17 +459,19 @@ func (m *Matrix) WithColumnScale(d []float32) *Matrix {
 	if len(d) != m.n {
 		panic(fmt.Sprintf("cbm: diagonal length mismatch: len(d)=%d, want %d", len(d), m.n))
 	}
-	return &Matrix{
-		n:          m.n,
-		kind:       KindAD,
-		delta:      m.delta.ScaleCols(d),
-		parent:     m.parent,
-		branches:   m.branches,
-		branchCost: m.branchCost,
-		branchLPT:  m.branchLPT,
-		totalCost:  m.totalCost,
-		maxCost:    m.maxCost,
+	dc := make([]float32, len(d))
+	copy(dc, d)
+	out := &Matrix{
+		n:        m.n,
+		kind:     KindAD,
+		delta:    m.delta.ScaleCols(d),
+		parent:   m.parent,
+		branches: m.branches,
+		src:      m.src,
+		srcRight: dc,
 	}
+	out.copySchedule(m)
+	return out
 }
 
 // WithSymmetricScale returns a CBM representation of diag(d)·A·diag(d):
@@ -409,18 +486,19 @@ func (m *Matrix) WithSymmetricScale(d []float32) *Matrix {
 	}
 	dc := make([]float32, len(d))
 	copy(dc, d)
-	return &Matrix{
-		n:          m.n,
-		kind:       KindDAD,
-		delta:      m.delta.ScaleCols(d),
-		parent:     m.parent,
-		branches:   m.branches,
-		diag:       dc,
-		branchCost: m.branchCost,
-		branchLPT:  m.branchLPT,
-		totalCost:  m.totalCost,
-		maxCost:    m.maxCost,
+	out := &Matrix{
+		n:        m.n,
+		kind:     KindDAD,
+		delta:    m.delta.ScaleCols(d),
+		parent:   m.parent,
+		branches: m.branches,
+		diag:     dc,
+		src:      m.src,
+		srcLeft:  dc,
+		srcRight: dc,
 	}
+	out.copySchedule(m)
+	return out
 }
 
 // WithScales returns a CBM representation of diag(left)·A·diag(right)
@@ -438,18 +516,34 @@ func (m *Matrix) WithScales(left, right []float32) *Matrix {
 	}
 	lc := make([]float32, len(left))
 	copy(lc, left)
-	return &Matrix{
-		n:          m.n,
-		kind:       KindDAD,
-		delta:      m.delta.ScaleCols(right),
-		parent:     m.parent,
-		branches:   m.branches,
-		diag:       lc,
-		branchCost: m.branchCost,
-		branchLPT:  m.branchLPT,
-		totalCost:  m.totalCost,
-		maxCost:    m.maxCost,
+	rc := make([]float32, len(right))
+	copy(rc, right)
+	out := &Matrix{
+		n:        m.n,
+		kind:     KindDAD,
+		delta:    m.delta.ScaleCols(right),
+		parent:   m.parent,
+		branches: m.branches,
+		diag:     lc,
+		src:      m.src,
+		srcLeft:  lc,
+		srcRight: rc,
 	}
+	out.copySchedule(m)
+	return out
+}
+
+// copySchedule shares the KindA base's precomputed schedule and
+// delta-sparsity summary with a scaled view (the column scaling never
+// changes the sparsity structure).
+func (m *Matrix) copySchedule(base *Matrix) {
+	m.branchCost = base.branchCost
+	m.branchLPT = base.branchLPT
+	m.totalCost = base.totalCost
+	m.maxCost = base.maxCost
+	m.deltaNNZ = base.deltaNNZ
+	m.deltaRowMax = base.deltaRowMax
+	m.srcNNZ = base.srcNNZ
 }
 
 // ToCSR decompresses the represented matrix back to CSR form —

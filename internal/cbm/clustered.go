@@ -103,6 +103,7 @@ func CompressClustered(a *sparse.CSR, opt Options, copt ClusterOptions) (*Matrix
 		delta:    delta,
 		parent:   parent,
 		branches: branchDecompose(parent),
+		src:      a,
 	}
 	m.initSchedule()
 	return m, stats, cstats, nil

@@ -44,9 +44,11 @@ func TestFusedBitwiseMatchesBranchAllKinds(t *testing.T) {
 	}
 }
 
-// MulTo picks between the fused and two-stage plans on a cost model;
-// whichever it selects, the result must stay bitwise equal to the
-// explicitly forced two-stage plan.
+// MulTo routes every call through the calibrated selector; whatever
+// plan it picks, the result must be bitwise equal to forcing that same
+// plan through MulToStrategy (the auto dispatch adds no nondeterminism)
+// and, for the CBM-family plans, bitwise equal to the two-stage
+// reference. This must hold under every plan mode.
 func TestMulToAutoDispatchBitwiseStable(t *testing.T) {
 	rng := xrand.New(89)
 	a := synth.HolmeKim(350, 3, 0.3, 53)
@@ -56,20 +58,32 @@ func TestMulToAutoDispatchBitwiseStable(t *testing.T) {
 	}
 	d := randomDiag(rng, a.Rows)
 	b := randomDense(rng, a.Rows, 19)
-	for name, m := range map[string]*Matrix{
-		"A":   base,
-		"AD":  base.WithColumnScale(d),
-		"DAD": base.WithSymmetricScale(d),
-	} {
-		want := dense.New(a.Rows, b.Cols)
-		m.MulToStrategy(want, b, 1, StrategyBranch, 0)
-		for _, threads := range []int{1, 2, 4, 8} {
-			got := dense.New(a.Rows, b.Cols)
-			m.MulTo(got, b, threads)
-			if !got.Equal(want) {
-				t.Fatalf("%s threads=%d: MulTo not bitwise equal to two-stage", name, threads)
+	for _, mode := range []PlanMode{PlanModeAuto, PlanModeHeuristic} {
+		prev := SetPlanMode(mode)
+		for name, m := range map[string]*Matrix{
+			"A":   base,
+			"AD":  base.WithColumnScale(d),
+			"DAD": base.WithSymmetricScale(d),
+		} {
+			twoStage := dense.New(a.Rows, b.Cols)
+			m.MulToStrategy(twoStage, b, 1, StrategyBranch, 0)
+			for _, threads := range []int{1, 2, 4, 8} {
+				plan := m.PlanFor(threads, b.Cols)
+				forced := dense.New(a.Rows, b.Cols)
+				m.MulToStrategy(forced, b, threads, plan, 0)
+				got := dense.New(a.Rows, b.Cols)
+				m.MulTo(got, b, threads)
+				if !got.Equal(forced) {
+					t.Fatalf("mode=%v %s threads=%d: MulTo not bitwise equal to forced %v plan",
+						mode, name, threads, plan)
+				}
+				if plan != StrategyCSR && !got.Equal(twoStage) {
+					t.Fatalf("mode=%v %s threads=%d: %v plan not bitwise equal to two-stage",
+						mode, name, threads, plan)
+				}
 			}
 		}
+		SetPlanMode(prev)
 	}
 }
 
@@ -126,9 +140,11 @@ func TestBranchScheduleInvariants(t *testing.T) {
 	}
 }
 
-// The cost model must always fuse at one thread (fusion only removes a
-// barrier there) and must refuse when one branch dominates the total
-// (its owner would serialize the whole multiply).
+// The LEGACY heuristic (PlanModeHeuristic's decision rule, no longer
+// the default — calibration refuted its claims, see plan.go). These
+// assertions pin its historical behaviour so the A/B escape hatch
+// stays faithful: fuse at one thread, refuse when one branch dominates
+// the total (its owner would serialize the whole multiply).
 func TestFusedProfitableHeuristic(t *testing.T) {
 	a := synth.SBMGroups(200, 20, 0.8, 0.4, 71)
 	m, _, err := Compress(a, Options{Alpha: 4})
@@ -136,7 +152,7 @@ func TestFusedProfitableHeuristic(t *testing.T) {
 		t.Fatal(err)
 	}
 	if !m.fusedProfitable(1) {
-		t.Fatal("threads=1 must always pick the fused plan")
+		t.Fatal("legacy heuristic must pick the fused plan at threads=1")
 	}
 	// Forged schedules pin the decision boundary exactly.
 	forge := func(costs ...int64) *Matrix {

@@ -53,79 +53,113 @@ func (m *Matrix) MulParallel(b *dense.Matrix, threads int) *dense.Matrix {
 
 // MulTo computes c = M·b into the pre-allocated output c (overwritten).
 //
-// It selects between two physically different but bitwise-identical
-// execution plans: the paper's two-stage pipeline (whole-matrix delta
-// SpMM, barrier, tree update) and the fused single-pass kernel (per
-// branch, each row's delta product is followed immediately by its
-// parent update — see mulFused). The fused plan wins when the branch
-// forest offers enough balanced parallelism to keep the workers busy
-// without the row-level parallel slack of the SpMM stage; the
-// fusedProfitable cost model decides per call.
+// It dispatches to one of three physical execution plans — the paper's
+// two-stage pipeline (whole-matrix delta SpMM, barrier, tree update),
+// the fused single-pass kernel (see mulFused), or the raw diag-scaled
+// CSR product that skips the compression tree entirely — chosen per
+// call by the calibrated selector behind PlanFor. The CBM-family plans
+// are bitwise-identical; the CSR plan computes the same product by a
+// different summation order and is validated within tolerance by the
+// differential oracle.
 //
 //cbm:hotpath
 func (m *Matrix) MulTo(c, b *dense.Matrix, threads int) {
+	m.mulAuto(c, b, threads, obs.Global)
+}
+
+// MulToCtx is MulTo driven by an execution context: the thread budget
+// and the observability sink come from ctx instead of bare parameters.
+// It is the entry point the gnn Adjacency backends use on the pooled
+// forward path.
+//
+//cbm:hotpath
+func (m *Matrix) MulToCtx(ctx *exec.Ctx, c, b *dense.Matrix) {
+	m.mulAuto(c, b, ctx.Threads(), ctx.Sink())
+}
+
+// mulAuto is the shared auto-dispatch body behind MulTo and MulToCtx.
+//
+//cbm:hotpath
+func (m *Matrix) mulAuto(c, b *dense.Matrix, threads int, sink obs.Sink) {
 	if b.Rows != m.n {
 		panic(fmt.Sprintf("cbm: Mul shape mismatch: %d×%d · %d×%d", m.n, m.n, b.Rows, b.Cols))
 	}
 	if c.Rows != m.n || c.Cols != b.Cols {
 		panic(fmt.Sprintf("cbm: Mul output shape mismatch: got %d×%d, want %d×%d", c.Rows, c.Cols, m.n, b.Cols))
 	}
-	obs.Inc(obs.CounterMulCalls)
+	sink.Inc(obs.CounterMulCalls)
 	t := parallel.EffectiveThreads(threads, m.n)
-	if m.fusedProfitable(t) {
-		m.mulFused(c, b, t)
-		return
+	switch m.planFor(t, b.Cols) {
+	case StrategyFused:
+		m.mulFused(c, b, t, sink)
+	case StrategyCSR:
+		m.mulCSR(c, b, threads, sink)
+	default:
+		// The two-stage plan keeps the caller's raw thread count — its
+		// row-chunk scheduling semantics predate EffectiveThreads.
+		m.mulTwoStage(c, b, threads, sink)
 	}
-	m.mulTwoStage(c, b, threads)
-}
-
-// MulToCtx is MulTo driven by an execution context: the thread budget
-// comes from ctx instead of a bare parameter. It is the entry point
-// the gnn Adjacency backends use on the pooled forward path.
-//
-//cbm:hotpath
-func (m *Matrix) MulToCtx(ctx *exec.Ctx, c, b *dense.Matrix) {
-	m.MulTo(c, b, ctx.Threads())
 }
 
 // MulToStrategyCtx is MulToStrategy driven by an execution context.
 //
 //cbm:hotpath
 func (m *Matrix) MulToStrategyCtx(ctx *exec.Ctx, c, b *dense.Matrix, strat UpdateStrategy, colBlock int) {
-	m.MulToStrategy(c, b, ctx.Threads(), strat, colBlock)
+	m.mulStrategy(c, b, ctx.Threads(), strat, colBlock, ctx.Sink())
 }
 
 // mulTwoStage is the paper's Sec. V-A pipeline: delta SpMM over every
 // row, full barrier, then the branch-parallel tree update.
 //
 //cbm:hotpath
-func (m *Matrix) mulTwoStage(c, b *dense.Matrix, threads int) {
-	kernels.SpMMTo(c, m.delta, b, threads)
-	// Closure-free sequential fast path: the obs.Do closure allocates
-	// at this call site even when the update then runs inline, which
-	// the zero-allocation serving path cannot afford.
+func (m *Matrix) mulTwoStage(c, b *dense.Matrix, threads int, sink obs.Sink) {
+	kernels.SpMMToSink(c, m.delta, b, threads, sink)
+	// Closure-free sequential fast path: the obs.DoWith closure
+	// allocates at this call site even when the update then runs
+	// inline, which the zero-allocation serving path cannot afford.
 	if parallel.Sequential(threads, len(m.branches)) {
-		sp := obs.Begin(obs.StageUpdate)
+		sp := sink.Begin(obs.StageUpdate)
 		for _, branch := range m.branches {
 			m.updateBranch(c, branch)
 		}
 		sp.End()
 		return
 	}
-	obs.Do(obs.StageUpdate, func() {
+	obs.DoWith(sink, obs.StageUpdate, func() {
 		m.update(c, threads)
 	})
 }
 
-// fusedProfitable reports whether the fused single-pass plan can match
-// the two-stage plan's parallelism. Fused parallelism is branch-level
-// only, so it needs (a) at least one branch per worker and (b) no
-// branch dominating the forest: by the classic LPT bound the fused
-// makespan is ≤ totalCost/threads + maxCost, so requiring
-// maxCost ≤ totalCost/threads keeps the schedule within 2× of the
-// perfectly balanced optimum while the locality win from skipping the
-// inter-stage barrier pays for the slack. Sequentially (threads ≤ 1)
-// fusion is a pure locality win and is always chosen.
+// mulCSR is the StrategyCSR plan: the represented matrix multiplied
+// directly as diag(left)·src·diag(right)·B, skipping the compression
+// tree. Only available while the matrix carries its source CSR.
+//
+//cbm:hotpath
+func (m *Matrix) mulCSR(c, b *dense.Matrix, threads int, sink obs.Sink) {
+	if m.src == nil {
+		panic("cbm: StrategyCSR requires the source matrix (see HasCSRPlan); decoded artifacts do not carry it")
+	}
+	switch m.kind {
+	case KindA, KindAD, KindDAD:
+	default:
+		// The diagonals encode the kind implicitly, but a corrupted kind
+		// must fail as loudly here as in the tree-walking plans.
+		panic(kindPanicMsg(m.kind, m.n))
+	}
+	kernels.SpMMDiagTo(c, m.src, b, m.srcLeft, m.srcRight, threads, sink)
+}
+
+// fusedProfitable is the LEGACY plan heuristic, kept reachable behind
+// PlanModeHeuristic for A/B comparison and as the CBM-plan fallback
+// when the selector wants CSR but the source is gone. Its reasoning —
+// fused parallelism is branch-level only, so it needs one branch per
+// worker and no dominating branch (maxCost·threads ≤ totalCost by the
+// LPT bound), while sequentially fusion is "a pure locality win" —
+// sounded right and measured wrong: the v3/v4 benches showed fused
+// 0.90–0.98× two-stage on every dataset, and calibration (see
+// CALIBRATION.json) attributes the loss to the per-row SpMMRowSegment
+// dispatch overhead that the batched two-stage SpMM amortizes. The
+// calibrated selector in plan.go replaced it as the default.
 func (m *Matrix) fusedProfitable(threads int) bool {
 	if threads <= 1 {
 		return true
@@ -239,6 +273,14 @@ const (
 	// update, with no inter-stage barrier, column tiling for wide
 	// operands and longest-processing-time-first branch scheduling.
 	StrategyFused
+	// StrategyCSR bypasses the compression tree and multiplies the
+	// original matrix directly with the diag-scaled CSR kernel — the
+	// winning plan when compression bought nothing and the tree update
+	// is pure overhead. Available only while the matrix carries its
+	// source CSR (HasCSRPlan); unlike the CBM-family strategies its
+	// summation order differs, so results agree within floating-point
+	// tolerance rather than bitwise.
+	StrategyCSR
 )
 
 func (s UpdateStrategy) String() string {
@@ -249,38 +291,49 @@ func (s UpdateStrategy) String() string {
 		return "branch-column"
 	case StrategyFused:
 		return "fused"
+	case StrategyCSR:
+		return "csr"
 	default:
 		return fmt.Sprintf("UpdateStrategy(%d)", int(s))
 	}
 }
 
-// MulToStrategy is MulTo with an explicit execution plan (no cost-model
+// MulToStrategy is MulTo with an explicit execution plan (no
 // auto-selection) and, for StrategyBranchColumn, the column block width
-// (0 picks 64). All strategies produce bitwise-identical results; only
-// the work partitioning differs.
+// (0 picks 64). The CBM-family strategies produce bitwise-identical
+// results — only the work partitioning differs; StrategyCSR agrees
+// within floating-point tolerance.
 //
 //cbm:hotpath
 func (m *Matrix) MulToStrategy(c, b *dense.Matrix, threads int, strat UpdateStrategy, colBlock int) {
+	m.mulStrategy(c, b, threads, strat, colBlock, obs.Global)
+}
+
+//cbm:hotpath
+func (m *Matrix) mulStrategy(c, b *dense.Matrix, threads int, strat UpdateStrategy, colBlock int, sink obs.Sink) {
 	if b.Rows != m.n {
 		panic(fmt.Sprintf("cbm: Mul shape mismatch: %d×%d · %d×%d", m.n, m.n, b.Rows, b.Cols))
 	}
 	if c.Rows != m.n || c.Cols != b.Cols {
 		panic(fmt.Sprintf("cbm: Mul output shape mismatch: got %d×%d, want %d×%d", c.Rows, c.Cols, m.n, b.Cols))
 	}
-	obs.Inc(obs.CounterMulCalls)
+	sink.Inc(obs.CounterMulCalls)
 	switch strat {
 	case StrategyBranch:
-		m.mulTwoStage(c, b, threads)
+		m.mulTwoStage(c, b, threads, sink)
 		return
 	case StrategyFused:
-		m.mulFused(c, b, parallel.EffectiveThreads(threads, m.n))
+		m.mulFused(c, b, parallel.EffectiveThreads(threads, m.n), sink)
+		return
+	case StrategyCSR:
+		m.mulCSR(c, b, threads, sink)
 		return
 	case StrategyBranchColumn:
 		// handled below
 	default:
 		panic(strategyPanicMsg(strat, m.n))
 	}
-	kernels.SpMMTo(c, m.delta, b, threads)
+	kernels.SpMMToSink(c, m.delta, b, threads, sink)
 	if colBlock <= 0 {
 		colBlock = 64
 	}
@@ -288,7 +341,7 @@ func (m *Matrix) MulToStrategy(c, b *dense.Matrix, threads int, strat UpdateStra
 	// (branch, block) pairs are scheduled as one flat index space; the
 	// pair is recovered by division so no task slice is materialized
 	// (Property 3: the update stage allocates nothing).
-	obs.Do(obs.StageUpdate, func() {
+	obs.DoWith(sink, obs.StageUpdate, func() {
 		parallel.ForDynamic(len(m.branches)*nBlocks, threads, 1, func(ti int) {
 			lo := (ti % nBlocks) * colBlock
 			hi := lo + colBlock
@@ -326,7 +379,7 @@ const fusedColTile = 256
 // scratch beyond C is touched.
 //
 //cbm:hotpath
-func (m *Matrix) mulFused(c, b *dense.Matrix, threads int) {
+func (m *Matrix) mulFused(c, b *dense.Matrix, threads int, sink obs.Sink) {
 	// Branch workers are pure CPU: a team larger than the machine's
 	// parallelism only adds context switches, and the claim order and
 	// results are identical for any team size, so cap it. (The two-stage
@@ -339,16 +392,16 @@ func (m *Matrix) mulFused(c, b *dense.Matrix, threads int) {
 	if threads == 1 || len(m.branches) == 1 || len(order) != len(m.branches) {
 		// Sequential (or order-less, e.g. hand-built test matrices):
 		// claim order is irrelevant, walk branches directly — and do it
-		// without the obs.Do closure, which would allocate at this call
-		// site even though nothing runs concurrently.
-		sp := obs.Begin(obs.StageFused)
+		// without the obs.DoWith closure, which would allocate at this
+		// call site even though nothing runs concurrently.
+		sp := sink.Begin(obs.StageFused)
 		for _, branch := range m.branches {
 			m.fusedBranch(c, b, branch)
 		}
 		sp.End()
 		return
 	}
-	obs.Do(obs.StageFused, func() {
+	obs.DoWith(sink, obs.StageFused, func() {
 		parallel.ForDynamic(len(order), threads, 1, func(k int) {
 			m.fusedBranch(c, b, m.branches[order[k]])
 		})

@@ -1,0 +1,277 @@
+// The calibration-report schema: the measured evidence the selector is
+// fit from, committed at the repo root as CALIBRATION.json. Each sample
+// is one (graph, kind, threads, cols) configuration with every plan's
+// paired-measured mean ± σ and its obs.Recorder-scoped per-stage split
+// — the per-stage timers are what turn "fused lost" into a diagnosis
+// instead of a mystery. The measurement loop itself lives in
+// internal/experiments (it needs the bench registry and cbm); this
+// package owns the schema, validation, fit-sample conversion, and the
+// automatic findings generator.
+
+package costmodel
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+)
+
+// CalibrationSchema identifies the report format; bump on breaking
+// changes so stale committed artifacts fail validation loudly.
+const CalibrationSchema = "cbm-calibration/v1"
+
+// PlanMeasurement is one plan's measurement on one configuration.
+// Stage seconds are per call, attributed through a scoped
+// obs.Recorder, so concurrent background work cannot double-count into
+// them (the AutoTune bug this PR fixes).
+type PlanMeasurement struct {
+	MeanSeconds float64 `json:"mean_s"`
+	StdSeconds  float64 `json:"std_s"`
+	// SpMMSeconds/UpdateSeconds split the two-stage and CSR plans
+	// (CSR is all SpMM); FusedSeconds carries the fused plan's single
+	// span. Zero when obs was disabled.
+	SpMMSeconds   float64 `json:"spmm_s"`
+	UpdateSeconds float64 `json:"update_s"`
+	FusedSeconds  float64 `json:"fused_s"`
+}
+
+// CalibrationSample is one measured configuration.
+type CalibrationSample struct {
+	Graph   string `json:"graph"`
+	Kind    string `json:"kind"` // matrix kind: "A" or "DAD"
+	Nodes   int    `json:"nodes"`
+	Edges   int64  `json:"edges"` // nnz of the represented matrix
+	Alpha   int    `json:"alpha"`
+	Threads int    `json:"threads"`
+	Cols    int    `json:"cols"`
+	// Features is the exact vector the selector sees for this
+	// configuration.
+	Features Features `json:"features"`
+	// Plans maps Plan.String() to its measurement.
+	Plans map[string]PlanMeasurement `json:"plans"`
+	// Best is the plan with the lowest measured mean.
+	Best string `json:"best"`
+	// Chosen is what the committed DefaultModel selects for Features —
+	// recorded at report-writing time so the artifact shows the
+	// selector's decisions next to the evidence.
+	Chosen string `json:"chosen"`
+}
+
+// CalibrationReport is the full calibration artifact.
+type CalibrationReport struct {
+	Schema     string              `json:"schema"`
+	GOMAXPROCS int                 `json:"gomaxprocs"`
+	Seed       uint64              `json:"seed"`
+	Reps       int                 `json:"reps"`
+	Warmup     int                 `json:"warmup"`
+	Samples    []CalibrationSample `json:"samples"`
+	// Findings is the generated diagnosis (see Diagnose): why fused
+	// lost where it lost, with per-stage timer evidence.
+	Findings []string `json:"findings"`
+}
+
+// MarshalJSON renders Features as a name→value object so the committed
+// report is self-describing; the array form would silently rot if the
+// feature order ever changed.
+func (f Features) MarshalJSON() ([]byte, error) {
+	m := make(map[string]float64, NumFeatures)
+	for i := 0; i < NumFeatures; i++ {
+		m[featureNames[i]] = f[i]
+	}
+	return json.Marshal(m)
+}
+
+// UnmarshalJSON parses the name→value object form, rejecting unknown
+// feature names.
+func (f *Features) UnmarshalJSON(data []byte) error {
+	var m map[string]float64
+	if err := json.Unmarshal(data, &m); err != nil {
+		return err
+	}
+	for k, v := range m {
+		idx := -1
+		for i := 0; i < NumFeatures; i++ {
+			if featureNames[i] == k {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return fmt.Errorf("costmodel: unknown feature %q in calibration data", k)
+		}
+		f[idx] = v
+	}
+	return nil
+}
+
+// Validate checks the report's structural invariants. It is strict —
+// a committed calibration artifact that fails any of these is lying
+// about something.
+func (r *CalibrationReport) Validate() error {
+	if r.Schema != CalibrationSchema {
+		return fmt.Errorf("calibration: schema %q, want %q", r.Schema, CalibrationSchema)
+	}
+	if r.GOMAXPROCS < 1 {
+		return fmt.Errorf("calibration: gomaxprocs %d", r.GOMAXPROCS)
+	}
+	if r.Reps < 1 {
+		return fmt.Errorf("calibration: reps %d", r.Reps)
+	}
+	if len(r.Samples) == 0 {
+		return fmt.Errorf("calibration: no samples")
+	}
+	for i, s := range r.Samples {
+		where := fmt.Sprintf("sample %d (%s kind=%s t=%d cols=%d)", i, s.Graph, s.Kind, s.Threads, s.Cols)
+		if s.Graph == "" || s.Nodes <= 0 || s.Threads < 1 || s.Cols < 1 {
+			return fmt.Errorf("calibration: %s: malformed identity", where)
+		}
+		if len(s.Plans) < 2 {
+			return fmt.Errorf("calibration: %s: %d plans measured, want ≥ 2", where, len(s.Plans))
+		}
+		bestName, bestMean := "", math.Inf(1)
+		for name, pm := range s.Plans {
+			if _, err := PlanFromString(name); err != nil {
+				return fmt.Errorf("calibration: %s: %w", where, err)
+			}
+			if !(pm.MeanSeconds > 0) {
+				return fmt.Errorf("calibration: %s: plan %s mean %v", where, name, pm.MeanSeconds)
+			}
+			if pm.MeanSeconds < bestMean {
+				bestName, bestMean = name, pm.MeanSeconds
+			}
+		}
+		if s.Best != bestName {
+			return fmt.Errorf("calibration: %s: best=%q but measured argmin is %q", where, s.Best, bestName)
+		}
+		if _, err := PlanFromString(s.Chosen); err != nil {
+			return fmt.Errorf("calibration: %s: chosen: %w", where, err)
+		}
+		for j, v := range s.Features {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("calibration: %s: feature %s is %v", where, FeatureName(j), v)
+			}
+		}
+	}
+	return nil
+}
+
+// FitSamples converts the report into the fit input: per sample, every
+// measured plan's mean seconds (unmeasured plans stay 0 = unavailable).
+func (r *CalibrationReport) FitSamples() []Sample {
+	out := make([]Sample, 0, len(r.Samples))
+	for _, s := range r.Samples {
+		fs := Sample{Graph: s.Graph, Features: s.Features}
+		for name, pm := range s.Plans {
+			if p, err := PlanFromString(name); err == nil {
+				fs.Seconds[p] = pm.MeanSeconds
+			}
+		}
+		out = append(out, fs)
+	}
+	return out
+}
+
+// WriteFile writes the report as indented JSON.
+func (r *CalibrationReport) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadCalibration loads and validates a calibration report.
+func ReadCalibration(path string) (*CalibrationReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r CalibrationReport
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&r); err != nil {
+		return nil, fmt.Errorf("calibration: parsing %s: %w", path, err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// Diagnose generates the findings: an aggregate verdict on the fused
+// plan per thread regime, the worst fused losses with their per-stage
+// timer evidence, and where the CSR plan wins and why. Output order is
+// deterministic (sorted by loss magnitude, then sample identity).
+func Diagnose(r *CalibrationReport) []string {
+	var findings []string
+
+	type lossRec struct {
+		s     CalibrationSample
+		ratio float64 // fused mean / two-stage mean
+	}
+	var losses []lossRec
+	fusedWins := map[bool][2]int{} // key: threads > 1 → [wins, losses]
+	csrWins := 0
+	for _, s := range r.Samples {
+		two, okTwo := s.Plans[PlanTwoStage.String()]
+		fused, okFused := s.Plans[PlanFused.String()]
+		if okTwo && okFused {
+			mt := s.Threads > 1
+			wl := fusedWins[mt]
+			if fused.MeanSeconds <= two.MeanSeconds {
+				wl[0]++
+			} else {
+				wl[1]++
+				losses = append(losses, lossRec{s, fused.MeanSeconds / two.MeanSeconds})
+			}
+			fusedWins[mt] = wl
+		}
+		if s.Best == PlanCSR.String() {
+			csrWins++
+		}
+	}
+	for _, mt := range []bool{false, true} {
+		wl := fusedWins[mt]
+		if wl[0]+wl[1] == 0 {
+			continue
+		}
+		regime := "threads=1"
+		if mt {
+			regime = "threads>1"
+		}
+		findings = append(findings, fmt.Sprintf(
+			"fused vs two-stage at %s: wins %d of %d configurations", regime, wl[0], wl[0]+wl[1]))
+	}
+	sort.Slice(losses, func(i, j int) bool {
+		if losses[i].ratio != losses[j].ratio {
+			return losses[i].ratio > losses[j].ratio
+		}
+		return sampleKey(losses[i].s) < sampleKey(losses[j].s)
+	})
+	for i, l := range losses {
+		if i >= 5 { // the five worst regressions carry the story
+			break
+		}
+		s := l.s
+		two := s.Plans[PlanTwoStage.String()]
+		fused := s.Plans[PlanFused.String()]
+		findings = append(findings, fmt.Sprintf(
+			"fused regression on %s: fused %.2f× two-stage (fused span %.2gs/call vs spmm %.2gs + update %.2gs); "+
+				"branch-level parallelism only (branches/thread=%.1f, imbalance=%.2f) forfeits the two-stage SpMM's row-level slack",
+			sampleKey(s), l.ratio, fused.FusedSeconds, two.SpMMSeconds, two.UpdateSeconds,
+			s.Features[FeatBranchesPerThread], s.Features[FeatImbalance]))
+	}
+	if csrWins > 0 {
+		findings = append(findings, fmt.Sprintf(
+			"csr plan is the measured best on %d of %d configurations — where compression_ratio ≈ 1 the tree update is pure overhead and the raw (diag-scaled) CSR product wins",
+			csrWins, len(r.Samples)))
+	}
+	return findings
+}
+
+func sampleKey(s CalibrationSample) string {
+	return fmt.Sprintf("%s kind=%s alpha=%d threads=%d cols=%d", s.Graph, s.Kind, s.Alpha, s.Threads, s.Cols)
+}

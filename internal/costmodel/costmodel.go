@@ -1,20 +1,37 @@
-// Package costmodel provides a machine-independent work/span model of
-// the CBM and CSR multiplication kernels. The paper's parallel results
-// were measured on 16 physical cores; when the harness runs on fewer
-// cores, wall-clock cannot show how α's root fan-out unlocks update
-// parallelism, so the Fig. 2 reproduction also reports modeled
-// speedups: scalar-operation counts scheduled onto P abstract workers
-// (multiplication stage: embarrassingly parallel over rows; update
-// stage: LPT list scheduling of the compression-tree branches, whose
-// internal chains are sequential).
+// Package costmodel provides the plan-selection layer of the CBM
+// multiplication pipeline: a machine-independent work/span model (the
+// Fig. 2 modeled speedups), cheap per-matrix features, a small
+// decision-tree model fit offline from measured calibration sweeps
+// (see CALIBRATION.json and cmd/calibrate), and the calibration report
+// schema itself. The package deliberately knows nothing about the cbm
+// package — matrices describe themselves through MatrixShape and
+// Features — so cbm.MulTo can route every call through the fitted
+// selector without an import cycle.
 package costmodel
 
 import (
 	"container/heap"
 
-	"repro/internal/cbm"
 	"repro/internal/sparse"
 )
+
+// MatrixShape is the structural summary of a CBM matrix the work/span
+// model consumes — what used to be read straight off *cbm.Matrix
+// before MulTo started importing this package.
+type MatrixShape struct {
+	// Rows is the matrix dimension n (CBM matrices are square).
+	Rows int
+	// DeltaNNZ is nnz(A'), the stored deltas.
+	DeltaNNZ int64
+	// RealEdges counts compression-tree edges with a real parent.
+	RealEdges int
+	// VirtualKids counts rows hanging off the virtual root.
+	VirtualKids int
+	// DAD reports whether the matrix carries the Eq. 6 row scaling.
+	DAD bool
+	// BranchSizes holds the node count of every virtual-root subtree.
+	BranchSizes []int
+}
 
 // Ops counts scalar operations (flops) for one kernel invocation.
 type Ops struct {
@@ -36,22 +53,14 @@ func CSROps(a *sparse.CSR, cols int) Ops {
 // the delta matrix plus one row-axpy (2·cols ops) per compression-tree
 // edge with a real parent; DAD matrices add one multiply per updated
 // element and a row scaling for virtual-root children (Eq. 6).
-func CBMOps(m *cbm.Matrix, cols int) Ops {
-	ops := Ops{Multiply: 2 * int64(m.NumDeltas()) * int64(cols)}
-	realEdges, virtualKids := 0, 0
-	for x := 0; x < m.Rows(); x++ {
-		if m.Parent(x) >= 0 {
-			realEdges++
-		} else {
-			virtualKids++
-		}
-	}
+func CBMOps(sh MatrixShape, cols int) Ops {
+	ops := Ops{Multiply: 2 * sh.DeltaNNZ * int64(cols)}
 	perEdge := int64(2 * cols)
-	if m.Kind() == cbm.KindDAD {
+	if sh.DAD {
 		perEdge = int64(3 * cols) // fused add + scale
-		ops.Update += int64(virtualKids) * int64(cols)
+		ops.Update += int64(sh.VirtualKids) * int64(cols)
 	}
-	ops.Update += int64(realEdges) * perEdge
+	ops.Update += int64(sh.RealEdges) * perEdge
 	return ops
 }
 
@@ -137,13 +146,13 @@ func quicksortDesc(a []int64, lo, hi int) {
 // operations on the critical path) of the CBM kernel on p workers: the
 // multiplication stage parallelizes over rows (work/p), the update
 // stage is the LPT makespan of its branch costs.
-func ModeledParallelTime(m *cbm.Matrix, cols, p int) int64 {
+func ModeledParallelTime(sh MatrixShape, cols, p int) int64 {
 	if p < 1 {
 		p = 1
 	}
-	ops := CBMOps(m, cols)
+	ops := CBMOps(sh, cols)
 	mul := (ops.Multiply + int64(p) - 1) / int64(p)
-	return mul + Makespan(BranchCosts(m, cols), p)
+	return mul + Makespan(BranchCosts(sh, cols), p)
 }
 
 // ModeledCSRParallelTime returns the modeled CSR SpMM time on p
@@ -156,8 +165,8 @@ func ModeledCSRParallelTime(a *sparse.CSR, cols, p int) int64 {
 }
 
 // ModeledSpeedup returns the modeled CSR/CBM speedup on p workers.
-func ModeledSpeedup(a *sparse.CSR, m *cbm.Matrix, cols, p int) float64 {
-	ct := ModeledParallelTime(m, cols, p)
+func ModeledSpeedup(a *sparse.CSR, sh MatrixShape, cols, p int) float64 {
+	ct := ModeledParallelTime(sh, cols, p)
 	if ct == 0 {
 		return 1
 	}
@@ -167,15 +176,15 @@ func ModeledSpeedup(a *sparse.CSR, m *cbm.Matrix, cols, p int) float64 {
 // BranchCosts returns the update-stage cost of each virtual-root
 // branch: one row update per edge with a real parent (branch length −
 // 1 edges), scaled by the per-edge operation count of the matrix kind.
-func BranchCosts(m *cbm.Matrix, cols int) []int64 {
+func BranchCosts(sh MatrixShape, cols int) []int64 {
 	perEdge := int64(2 * cols)
 	perRoot := int64(0)
-	if m.Kind() == cbm.KindDAD {
+	if sh.DAD {
 		perEdge = int64(3 * cols)
 		perRoot = int64(cols)
 	}
-	costs := make([]int64, 0, m.NumBranches())
-	for _, size := range m.BranchSizes() {
+	costs := make([]int64, 0, len(sh.BranchSizes))
+	for _, size := range sh.BranchSizes {
 		costs = append(costs, int64(size-1)*perEdge+perRoot)
 	}
 	return costs

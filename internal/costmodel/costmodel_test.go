@@ -1,17 +1,18 @@
-package costmodel
+package costmodel_test
 
 import (
 	"testing"
 	"testing/quick"
 
 	"repro/internal/cbm"
+	"repro/internal/costmodel"
 	"repro/internal/synth"
 	"repro/internal/xrand"
 )
 
 func TestCSROps(t *testing.T) {
 	a := synth.ErdosRenyi(100, 6, 1)
-	ops := CSROps(a, 10)
+	ops := costmodel.CSROps(a, 10)
 	want := 2 * int64(a.NNZ()) * 10
 	if ops.Multiply != want || ops.Update != 0 {
 		t.Fatalf("CSROps = %+v, want multiply %d", ops, want)
@@ -32,7 +33,7 @@ func TestCBMOpsNeverExceedCSR(t *testing.T) {
 			return false
 		}
 		cols := 1 + rng.Intn(64)
-		return CBMOps(m, cols).Total() <= CSROps(a, cols).Total()
+		return costmodel.CBMOps(m.Shape(), cols).Total() <= costmodel.CSROps(a, cols).Total()
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)
@@ -40,19 +41,19 @@ func TestCBMOpsNeverExceedCSR(t *testing.T) {
 }
 
 func TestMakespanBasics(t *testing.T) {
-	if Makespan(nil, 4) != 0 {
+	if costmodel.Makespan(nil, 4) != 0 {
 		t.Fatal("empty makespan != 0")
 	}
-	if got := Makespan([]int64{5, 3, 2}, 1); got != 10 {
+	if got := costmodel.Makespan([]int64{5, 3, 2}, 1); got != 10 {
 		t.Fatalf("p=1 makespan = %d, want 10 (total work)", got)
 	}
-	if got := Makespan([]int64{5, 3, 2}, 2); got != 5 {
+	if got := costmodel.Makespan([]int64{5, 3, 2}, 2); got != 5 {
 		t.Fatalf("p=2 makespan = %d, want 5", got)
 	}
-	if got := Makespan([]int64{7}, 8); got != 7 {
+	if got := costmodel.Makespan([]int64{7}, 8); got != 7 {
 		t.Fatalf("single task makespan = %d, want 7 (critical path)", got)
 	}
-	if got := Makespan([]int64{1, 1, 1, 1}, 0); got != 4 {
+	if got := costmodel.Makespan([]int64{1, 1, 1, 1}, 0); got != 4 {
 		t.Fatalf("p=0 clamps to 1: got %d", got)
 	}
 }
@@ -73,7 +74,7 @@ func TestMakespanBoundsProperty(t *testing.T) {
 				max = tasks[i]
 			}
 		}
-		ms := Makespan(tasks, p)
+		ms := costmodel.Makespan(tasks, p)
 		lower := (total + int64(p) - 1) / int64(p)
 		if ms < lower && ms < max {
 			return false
@@ -87,9 +88,9 @@ func TestMakespanBoundsProperty(t *testing.T) {
 
 func TestMakespanMonotoneInWorkers(t *testing.T) {
 	tasks := []int64{13, 8, 8, 5, 4, 4, 3, 1}
-	prev := Makespan(tasks, 1)
+	prev := costmodel.Makespan(tasks, 1)
 	for p := 2; p <= 8; p++ {
-		cur := Makespan(tasks, p)
+		cur := costmodel.Makespan(tasks, p)
 		if cur > prev {
 			t.Fatalf("makespan increased from p=%d (%d) to p=%d (%d)", p-1, prev, p, cur)
 		}
@@ -114,13 +115,13 @@ func TestModeledSpeedupRisesWithAlphaOnBranchBoundGraph(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ms0 := Makespan(BranchCosts(m0, 128), 16)
-	ms16 := Makespan(BranchCosts(m16, 128), 16)
+	ms0 := costmodel.Makespan(costmodel.BranchCosts(m0.Shape(), 128), 16)
+	ms16 := costmodel.Makespan(costmodel.BranchCosts(m16.Shape(), 128), 16)
 	if m16.NumBranches() > m0.NumBranches() && ms16 > ms0 {
 		t.Fatalf("more branches (%d → %d) but larger makespan (%d → %d)",
 			m0.NumBranches(), m16.NumBranches(), ms0, ms16)
 	}
-	if sp := ModeledSpeedup(a, m0, 128, 16); sp <= 0 {
+	if sp := costmodel.ModeledSpeedup(a, m0.Shape(), 128, 16); sp <= 0 {
 		t.Fatalf("modeled speedup = %v", sp)
 	}
 }
@@ -136,8 +137,8 @@ func TestBranchCostsMatchKind(t *testing.T) {
 		d[i] = 1
 	}
 	dad := base.WithSymmetricScale(d)
-	ca := BranchCosts(base, 10)
-	cd := BranchCosts(dad, 10)
+	ca := costmodel.BranchCosts(base.Shape(), 10)
+	cd := costmodel.BranchCosts(dad.Shape(), 10)
 	if len(ca) != len(cd) {
 		t.Fatal("branch count differs across kinds")
 	}

@@ -1,0 +1,254 @@
+// Offline fitting of the plan-selection tree. The objective is
+// cost-sensitive, not classification accuracy: a leaf pays the sum of
+// the measured mean seconds of the plan it selects over the samples it
+// covers, so a split only helps when routing samples apart genuinely
+// saves measured time — mispredicting two plans that run within noise
+// of each other costs (correctly) almost nothing. The fit is exactly
+// deterministic: candidate thresholds are midpoints of sorted observed
+// values, features are scanned in index order, and ties keep the first
+// candidate, so refitting committed calibration data must reproduce
+// the committed model bit for bit (the ci.sh staleness gate).
+
+package costmodel
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one measured calibration point: a feature vector plus the
+// mean measured seconds of every plan on that configuration. A
+// non-positive or NaN entry means the plan was unavailable there (e.g.
+// no CSR source attached) and is treated as infinitely expensive.
+type Sample struct {
+	Graph    string
+	Features Features
+	Seconds  [NumPlans]float64
+}
+
+// FitOptions controls the tree induction.
+type FitOptions struct {
+	// MaxDepth bounds the tree depth (root = depth 0). 0 picks the
+	// default of 3 — deep enough to separate the calibration regimes,
+	// shallow enough to audit by eye in model_default.go.
+	MaxDepth int
+	// MinLeaf is the minimum samples per leaf (default 1).
+	MinLeaf int
+	// MinGain is the minimum relative cost improvement a split must buy
+	// (default 1e-3): guards against splits that only chase noise.
+	MinGain float64
+	// Exclude lists feature indices the fit must never split on.
+	Exclude []int
+}
+
+// DefaultFitOptions are the options behind the committed model:
+// depth ≤ 3 and no splits on FeatCols, so the selected plan never
+// depends on the operand width — the property that keeps the serving
+// engine's micro-batched (wide) and solo (narrow) multiplies on the
+// same plan and therefore bitwise identical.
+func DefaultFitOptions() FitOptions {
+	return FitOptions{MaxDepth: 3, MinLeaf: 1, MinGain: 1e-3, Exclude: []int{FeatCols}}
+}
+
+func sampleCost(s Sample, p Plan) float64 {
+	v := s.Seconds[p]
+	if !(v > 0) || math.IsNaN(v) || math.IsInf(v, 0) {
+		return math.Inf(1)
+	}
+	return v
+}
+
+// leafChoice returns the plan minimizing total measured seconds over
+// the samples and that total. Ties keep the lowest plan index
+// (PlanTwoStage first), for determinism and conservatism.
+func leafChoice(samples []Sample) (Plan, float64) {
+	best, bestCost := PlanTwoStage, math.Inf(1)
+	for p := Plan(0); p < NumPlans; p++ {
+		total := 0.0
+		for _, s := range samples {
+			total += sampleCost(s, p)
+		}
+		if total < bestCost {
+			best, bestCost = p, total
+		}
+	}
+	if math.IsInf(bestCost, 1) {
+		// No plan measured anywhere (degenerate input): fall back to the
+		// reference plan at zero attributed cost.
+		return PlanTwoStage, 0
+	}
+	return best, bestCost
+}
+
+// Fit induces a decision tree from measured samples. An empty sample
+// set yields the zero Model (always PlanTwoStage).
+func Fit(samples []Sample, opt FitOptions) Model {
+	if len(samples) == 0 {
+		return Model{}
+	}
+	if opt.MaxDepth <= 0 {
+		opt.MaxDepth = 3
+	}
+	if opt.MinLeaf < 1 {
+		opt.MinLeaf = 1
+	}
+	if opt.MinGain <= 0 {
+		opt.MinGain = 1e-3
+	}
+	excluded := make(map[int]bool, len(opt.Exclude))
+	for _, f := range opt.Exclude {
+		excluded[f] = true
+	}
+	var m Model
+	build(&m, samples, 0, opt, excluded)
+	return m
+}
+
+// build appends the subtree for the samples and returns its root index.
+func build(m *Model, samples []Sample, depth int, opt FitOptions, excluded map[int]bool) int {
+	leafPlan, leafCost := leafChoice(samples)
+	idx := len(m.Nodes)
+	m.Nodes = append(m.Nodes, Node{IsLeaf: true, Leaf: leafPlan})
+	if depth >= opt.MaxDepth || len(samples) < 2*opt.MinLeaf {
+		return idx
+	}
+	feat, thr, cost, ok := bestSplit(samples, opt, excluded)
+	if !ok || cost >= leafCost*(1-opt.MinGain) {
+		return idx
+	}
+	left, right := partition(samples, feat, thr)
+	m.Nodes[idx] = Node{Feature: feat, Threshold: thr}
+	// Children are appended after the parent; Left is built first so
+	// the layout (and therefore Equal) is deterministic.
+	l := build(m, left, depth+1, opt, excluded)
+	r := build(m, right, depth+1, opt, excluded)
+	m.Nodes[idx].Left = l
+	m.Nodes[idx].Right = r
+	return idx
+}
+
+// bestSplit scans every allowed (feature, threshold) candidate and
+// returns the one minimizing the summed leaf costs of the two sides.
+// Candidates are midpoints between consecutive distinct observed
+// values; scanning order (feature index, then ascending threshold) and
+// strict improvement comparisons make the choice deterministic.
+func bestSplit(samples []Sample, opt FitOptions, excluded map[int]bool) (feat int, thr, cost float64, ok bool) {
+	cost = math.Inf(1)
+	vals := make([]float64, 0, len(samples))
+	for f := 0; f < NumFeatures; f++ {
+		if excluded[f] {
+			continue
+		}
+		vals = vals[:0]
+		for _, s := range samples {
+			vals = append(vals, s.Features[f])
+		}
+		sort.Float64s(vals)
+		for i := 1; i < len(vals); i++ {
+			if vals[i] == vals[i-1] {
+				continue
+			}
+			t := vals[i-1] + (vals[i]-vals[i-1])/2
+			left, right := partition(samples, f, t)
+			if len(left) < opt.MinLeaf || len(right) < opt.MinLeaf {
+				continue
+			}
+			_, lc := leafChoice(left)
+			_, rc := leafChoice(right)
+			if c := lc + rc; c < cost {
+				feat, thr, cost, ok = f, t, c, true
+			}
+		}
+	}
+	return feat, thr, cost, ok
+}
+
+func partition(samples []Sample, feat int, thr float64) (left, right []Sample) {
+	for _, s := range samples {
+		if s.Features[feat] <= thr {
+			left = append(left, s)
+		} else {
+			right = append(right, s)
+		}
+	}
+	return left, right
+}
+
+// TotalCost returns the summed measured seconds the model's choices
+// pay over the samples, and the cost of the oracle that always picks
+// the best measured plan — the fit-quality number cmd/calibrate
+// reports (model/oracle = 1.0 means the tree never picks a loser on
+// its training data).
+func TotalCost(m *Model, samples []Sample) (model, oracle float64) {
+	for _, s := range samples {
+		model += sampleCost(s, m.Select(s.Features))
+		best := math.Inf(1)
+		for p := Plan(0); p < NumPlans; p++ {
+			if c := sampleCost(s, p); c < best {
+				best = c
+			}
+		}
+		oracle += best
+	}
+	return model, oracle
+}
+
+// GoSource renders the model as the generated Go source committed in
+// model_default.go. Floats are formatted with strconv 'g'/-1 so the
+// literal round-trips exactly and a refit comparison can demand
+// bit-identical thresholds.
+func (m *Model) GoSource() string {
+	var b strings.Builder
+	b.WriteString("// Code generated by \"go run ./cmd/calibrate -fit\" from CALIBRATION.json. DO NOT EDIT.\n\n")
+	b.WriteString("package costmodel\n\n")
+	b.WriteString("// DefaultModel is the committed plan-selection tree, fit from the\n")
+	b.WriteString("// committed CALIBRATION.json with DefaultFitOptions. ci.sh fails if\n")
+	b.WriteString("// refitting that data does not reproduce this tree (stale model).\n")
+	b.WriteString("var DefaultModel = Model{Nodes: []Node{\n")
+	for i, n := range m.Nodes {
+		if n.IsLeaf {
+			fmt.Fprintf(&b, "\t{IsLeaf: true, Leaf: Plan%s}, // %d\n", exportedPlanName(n.Leaf), i)
+			continue
+		}
+		fmt.Fprintf(&b, "\t{Feature: Feat%s, Threshold: %s, Left: %d, Right: %d}, // %d: %s <= %s\n",
+			exportedFeatureName(n.Feature), strconv.FormatFloat(n.Threshold, 'g', -1, 64),
+			n.Left, n.Right, i, FeatureName(n.Feature), strconv.FormatFloat(n.Threshold, 'g', -1, 64))
+	}
+	b.WriteString("}}\n")
+	return b.String()
+}
+
+func exportedPlanName(p Plan) string {
+	switch p {
+	case PlanTwoStage:
+		return "TwoStage"
+	case PlanFused:
+		return "Fused"
+	case PlanCSR:
+		return "CSR"
+	}
+	return fmt.Sprintf("(%d)", int(p))
+}
+
+func exportedFeatureName(f int) string {
+	switch f {
+	case FeatThreads:
+		return "Threads"
+	case FeatBranchesPerThread:
+		return "BranchesPerThread"
+	case FeatImbalance:
+		return "Imbalance"
+	case FeatCompressionRatio:
+		return "CompressionRatio"
+	case FeatAvgDeltaRowNNZ:
+		return "AvgDeltaRowNNZ"
+	case FeatRowSpread:
+		return "RowSpread"
+	case FeatCols:
+		return "Cols"
+	}
+	return fmt.Sprintf("(%d)", f)
+}

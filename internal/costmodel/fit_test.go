@@ -1,0 +1,222 @@
+package costmodel
+
+import (
+	"strings"
+	"testing"
+)
+
+// mkSample builds a sample with the given (feature, value) pairs and
+// per-plan seconds.
+func mkSample(secs [NumPlans]float64, fv ...float64) Sample {
+	var s Sample
+	s.Seconds = secs
+	for i := 0; i+1 < len(fv); i += 2 {
+		s.Features[int(fv[i])] = fv[i+1]
+	}
+	return s
+}
+
+func TestFitEmptyAndTrivial(t *testing.T) {
+	m := Fit(nil, DefaultFitOptions())
+	if len(m.Nodes) != 0 || m.Select(Features{}) != PlanTwoStage {
+		t.Fatal("empty fit must be the zero model")
+	}
+	// One sample where fused is cheapest → single fused leaf.
+	m = Fit([]Sample{
+		mkSample([NumPlans]float64{PlanTwoStage: 2, PlanFused: 1, PlanCSR: 3}),
+	}, DefaultFitOptions())
+	if len(m.Nodes) != 1 || !m.Nodes[0].IsLeaf || m.Nodes[0].Leaf != PlanFused {
+		t.Fatalf("trivial fit = %+v, want single fused leaf", m.Nodes)
+	}
+}
+
+func TestFitSeparatesRegimes(t *testing.T) {
+	// threads=1 samples: fused clearly wins; threads=4: two-stage wins.
+	var samples []Sample
+	for i := 0; i < 4; i++ {
+		samples = append(samples,
+			mkSample([NumPlans]float64{PlanTwoStage: 2, PlanFused: 1, PlanCSR: 3},
+				FeatThreads, 1, FeatImbalance, 0.5+0.1*float64(i)),
+			mkSample([NumPlans]float64{PlanTwoStage: 1, PlanFused: 2, PlanCSR: 3},
+				FeatThreads, 4, FeatImbalance, 1.5+0.1*float64(i)))
+	}
+	m := Fit(samples, DefaultFitOptions())
+	var f Features
+	f[FeatThreads] = 1
+	f[FeatImbalance] = 0.6
+	if got := m.Select(f); got != PlanFused {
+		t.Fatalf("threads=1 regime → %v, want fused\nmodel: %+v", got, m.Nodes)
+	}
+	f[FeatThreads] = 4
+	f[FeatImbalance] = 1.7
+	if got := m.Select(f); got != PlanTwoStage {
+		t.Fatalf("threads=4 regime → %v, want two-stage\nmodel: %+v", got, m.Nodes)
+	}
+	model, oracle := TotalCost(&m, samples)
+	if model != oracle {
+		t.Fatalf("separable data: model cost %v != oracle %v", model, oracle)
+	}
+}
+
+func TestFitDeterministic(t *testing.T) {
+	var samples []Sample
+	for i := 0; i < 12; i++ {
+		secs := [NumPlans]float64{PlanTwoStage: 1 + float64(i%3), PlanFused: 2, PlanCSR: 1.5}
+		samples = append(samples, mkSample(secs,
+			FeatThreads, float64(1+i%4),
+			FeatImbalance, float64(i)*0.3,
+			FeatCompressionRatio, 1+float64(i%5)*0.7))
+	}
+	a := Fit(samples, DefaultFitOptions())
+	b := Fit(samples, DefaultFitOptions())
+	if !a.Equal(&b) {
+		t.Fatal("refitting identical data must reproduce the identical tree")
+	}
+}
+
+func TestFitNeverSplitsOnExcluded(t *testing.T) {
+	// Cols perfectly separates winners; the default fit must refuse it.
+	var samples []Sample
+	for i := 0; i < 4; i++ {
+		samples = append(samples,
+			mkSample([NumPlans]float64{PlanTwoStage: 2, PlanFused: 1, PlanCSR: 3}, FeatCols, 16),
+			mkSample([NumPlans]float64{PlanTwoStage: 1, PlanFused: 2, PlanCSR: 3}, FeatCols, 256))
+	}
+	m := Fit(samples, DefaultFitOptions())
+	for _, n := range m.Nodes {
+		if !n.IsLeaf && n.Feature == FeatCols {
+			t.Fatalf("fit split on excluded FeatCols: %+v", m.Nodes)
+		}
+	}
+	// Without the exclusion the same data does split on cols — proving
+	// the guard is what prevented it.
+	opt := DefaultFitOptions()
+	opt.Exclude = nil
+	m = Fit(samples, opt)
+	found := false
+	for _, n := range m.Nodes {
+		if !n.IsLeaf && n.Feature == FeatCols {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("control fit did not split on cols: %+v", m.Nodes)
+	}
+}
+
+func TestFitUnavailablePlanNeverChosen(t *testing.T) {
+	// CSR seconds <= 0 everywhere → treated as +Inf, never selected even
+	// though 0 would naively look "cheapest".
+	var samples []Sample
+	for i := 0; i < 6; i++ {
+		samples = append(samples, mkSample(
+			[NumPlans]float64{PlanTwoStage: 2, PlanFused: 3, PlanCSR: 0},
+			FeatThreads, float64(1+i)))
+	}
+	m := Fit(samples, DefaultFitOptions())
+	for _, n := range m.Nodes {
+		if n.IsLeaf && n.Leaf == PlanCSR {
+			t.Fatalf("fit chose unavailable CSR plan: %+v", m.Nodes)
+		}
+	}
+}
+
+func TestFitRespectsMinLeafAndDepth(t *testing.T) {
+	var samples []Sample
+	for i := 0; i < 16; i++ {
+		secs := [NumPlans]float64{PlanTwoStage: 1, PlanFused: 2, PlanCSR: 3}
+		if i%2 == 0 {
+			secs = [NumPlans]float64{PlanTwoStage: 2, PlanFused: 1, PlanCSR: 3}
+		}
+		samples = append(samples, mkSample(secs, FeatImbalance, float64(i)))
+	}
+	opt := DefaultFitOptions()
+	opt.MaxDepth = 1
+	m := Fit(samples, opt)
+	// Depth 1: at most root + 2 leaves.
+	if len(m.Nodes) > 3 {
+		t.Fatalf("depth-1 fit produced %d nodes", len(m.Nodes))
+	}
+	opt.MinLeaf = 9 // > half the samples → no legal split
+	m = Fit(samples, opt)
+	if len(m.Nodes) != 1 || !m.Nodes[0].IsLeaf {
+		t.Fatalf("minleaf=9 over 16 samples must stay a single leaf: %+v", m.Nodes)
+	}
+}
+
+func TestGoSourceRoundTrip(t *testing.T) {
+	m := Model{Nodes: []Node{
+		{Feature: FeatThreads, Threshold: 1.5, Left: 1, Right: 2},
+		{IsLeaf: true, Leaf: PlanFused},
+		{Feature: FeatCompressionRatio, Threshold: 1.0625, Left: 3, Right: 4},
+		{IsLeaf: true, Leaf: PlanCSR},
+		{IsLeaf: true, Leaf: PlanTwoStage},
+	}}
+	src := m.GoSource()
+	for _, want := range []string{
+		"Code generated",
+		"package costmodel",
+		"{Feature: FeatThreads, Threshold: 1.5, Left: 1, Right: 2}",
+		"{IsLeaf: true, Leaf: PlanFused}",
+		"{Feature: FeatCompressionRatio, Threshold: 1.0625, Left: 3, Right: 4}",
+		"{IsLeaf: true, Leaf: PlanCSR}",
+	} {
+		if !strings.Contains(src, want) {
+			t.Fatalf("GoSource missing %q:\n%s", want, src)
+		}
+	}
+}
+
+func TestFitSamplesConversion(t *testing.T) {
+	r := &CalibrationReport{
+		Schema: CalibrationSchema, GOMAXPROCS: 1, Reps: 3, Warmup: 1,
+		Samples: []CalibrationSample{{
+			Graph: "g", Kind: "A", Nodes: 10, Edges: 20, Threads: 2, Cols: 8,
+			Plans: map[string]PlanMeasurement{
+				"two-stage": {MeanSeconds: 0.02},
+				"fused":     {MeanSeconds: 0.03},
+			},
+			Best: "two-stage", Chosen: "two-stage",
+		}},
+	}
+	fs := r.FitSamples()
+	if len(fs) != 1 {
+		t.Fatalf("got %d fit samples", len(fs))
+	}
+	if fs[0].Seconds[PlanTwoStage] != 0.02 || fs[0].Seconds[PlanFused] != 0.03 {
+		t.Fatalf("seconds not mapped: %+v", fs[0].Seconds)
+	}
+	if fs[0].Seconds[PlanCSR] != 0 {
+		t.Fatalf("unmeasured plan must stay 0 (unavailable): %+v", fs[0].Seconds)
+	}
+}
+
+func TestCalibrationFileRoundTrip(t *testing.T) {
+	r := &CalibrationReport{
+		Schema: CalibrationSchema, GOMAXPROCS: 1, Seed: 42, Reps: 3, Warmup: 1,
+		Samples: []CalibrationSample{{
+			Graph: "g", Kind: "DAD", Nodes: 10, Edges: 20, Alpha: 16, Threads: 2, Cols: 8,
+			Features: featuresWith(FeatThreads, 2),
+			Plans: map[string]PlanMeasurement{
+				"two-stage": {MeanSeconds: 0.02, SpMMSeconds: 0.015, UpdateSeconds: 0.005},
+				"fused":     {MeanSeconds: 0.03, FusedSeconds: 0.03},
+			},
+			Best: "two-stage", Chosen: "two-stage",
+		}},
+		Findings: []string{"test finding"},
+	}
+	path := t.TempDir() + "/cal.json"
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCalibration(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Samples) != 1 || back.Samples[0].Features != r.Samples[0].Features {
+		t.Fatalf("round trip mismatch: %+v", back.Samples)
+	}
+	if back.Seed != 42 || back.Findings[0] != "test finding" {
+		t.Fatalf("metadata lost: %+v", back)
+	}
+}

@@ -1,0 +1,193 @@
+// The measured plan selector. cbm.MulTo used to choose between the
+// fused and two-stage plans with a hand-tuned heuristic whose central
+// claims (threads=1 must always fuse; balanced branch forests make
+// fusion profitable) the v3/v4 benches contradicted on every dataset.
+// This file replaces the folklore with a calibrated decision: cheap
+// per-call features extracted from the matrix, scored by a small
+// threshold tree fit offline from CALIBRATION.json sweeps (see fit.go
+// and cmd/calibrate) and committed as Go source in model_default.go —
+// the ML-driven format-selection recipe of Qiu et al. (2111.00352)
+// scaled down to a three-way plan choice.
+
+package costmodel
+
+import "fmt"
+
+// Plan identifies one physical execution plan for C = M·B.
+type Plan uint8
+
+const (
+	// PlanTwoStage is the paper's pipeline: delta SpMM, barrier, tree
+	// update (cbm.StrategyBranch).
+	PlanTwoStage Plan = iota
+	// PlanFused is the fused single-pass kernel (cbm.StrategyFused).
+	PlanFused
+	// PlanCSR bypasses the compression tree entirely and multiplies the
+	// original matrix with the (diag-scaled) CSR kernel — the right
+	// plan when compression bought nothing (ratio ≈ 1) and the update
+	// stage is pure overhead (cbm.StrategyCSR).
+	PlanCSR
+
+	// NumPlans bounds per-plan arrays (calibration measurements, fit).
+	NumPlans = 3
+)
+
+var planNames = [NumPlans]string{
+	PlanTwoStage: "two-stage",
+	PlanFused:    "fused",
+	PlanCSR:      "csr",
+}
+
+func (p Plan) String() string {
+	if int(p) < len(planNames) {
+		return planNames[p]
+	}
+	return fmt.Sprintf("Plan(%d)", int(p))
+}
+
+// PlanFromString parses a Plan name as written in calibration reports.
+func PlanFromString(s string) (Plan, error) {
+	for i, n := range planNames {
+		if n == s {
+			return Plan(i), nil
+		}
+	}
+	return 0, fmt.Errorf("costmodel: unknown plan %q", s)
+}
+
+// Feature indices into a Features vector. The committed model refers
+// to features by these indices, so the order is part of the
+// calibration-data contract: renumbering invalidates CALIBRATION.json.
+const (
+	// FeatThreads is the effective thread count of the call.
+	FeatThreads = iota
+	// FeatBranchesPerThread is branches/threads — the fused plan's
+	// parallel slack (its only parallelism is branch-level).
+	FeatBranchesPerThread
+	// FeatImbalance is maxBranchCost·threads/totalCost: >1 means one
+	// branch exceeds the fair share and serializes the fused plan.
+	FeatImbalance
+	// FeatCompressionRatio is nnz(A)/nnz(A') — the operations the
+	// compression tree saves; ≈1 means the tree is pure overhead and
+	// the CSR plan does the same work without the update stage.
+	FeatCompressionRatio
+	// FeatAvgDeltaRowNNZ is nnz(A')/rows.
+	FeatAvgDeltaRowNNZ
+	// FeatRowSpread is maxDeltaRowNNZ/avgDeltaRowNNZ — degree skew of
+	// the delta matrix, the tail the two-stage row-parallel SpMM can
+	// balance but the fused branch-parallel schedule cannot.
+	FeatRowSpread
+	// FeatCols is the operand width B.Cols. Recorded in calibration
+	// data for analysis but excluded from the default fit (see
+	// DefaultFitOptions): a cols-dependent choice would break the
+	// engine's batched-vs-solo bitwise transparency, which relies on
+	// wide and narrow operands taking the same plan.
+	FeatCols
+
+	// NumFeatures is the feature-vector length.
+	NumFeatures
+)
+
+var featureNames = [NumFeatures]string{
+	FeatThreads:           "threads",
+	FeatBranchesPerThread: "branches_per_thread",
+	FeatImbalance:         "imbalance",
+	FeatCompressionRatio:  "compression_ratio",
+	FeatAvgDeltaRowNNZ:    "avg_delta_row_nnz",
+	FeatRowSpread:         "row_spread",
+	FeatCols:              "cols",
+}
+
+// FeatureName returns the stable name of feature index i.
+func FeatureName(i int) string {
+	if i >= 0 && i < NumFeatures {
+		return featureNames[i]
+	}
+	return fmt.Sprintf("feature(%d)", i)
+}
+
+// Features is one extracted feature vector. It is a fixed-size value
+// type so extraction on the MulTo hot path allocates nothing.
+type Features [NumFeatures]float64
+
+// At returns feature i.
+//
+//cbm:hotpath
+func (f Features) At(i int) float64 { return f[i] }
+
+// Node is one decision-tree node. Interior nodes route Left when
+// feature At(Feature) <= Threshold, Right otherwise; leaves carry the
+// selected plan.
+type Node struct {
+	IsLeaf    bool
+	Leaf      Plan
+	Feature   int
+	Threshold float64
+	Left      int // index into Model.Nodes
+	Right     int
+}
+
+// Model is a threshold decision tree over Features, stored as a flat
+// node array with the root at index 0. The zero Model selects
+// PlanTwoStage — the conservative reference plan — for every input.
+type Model struct {
+	Nodes []Node
+}
+
+// Select routes the feature vector to a leaf plan. Malformed trees
+// (out-of-range child indices, cycles) fall back to PlanTwoStage
+// rather than looping: the selector sits on the multiply hot path and
+// must never be the thing that hangs a request.
+//
+//cbm:hotpath
+func (m *Model) Select(f Features) Plan {
+	nodes := m.Nodes
+	if len(nodes) == 0 {
+		return PlanTwoStage
+	}
+	i := 0
+	for hops := 0; hops <= len(nodes); hops++ {
+		n := &nodes[i]
+		if n.IsLeaf {
+			return n.Leaf
+		}
+		if n.Feature < 0 || n.Feature >= NumFeatures {
+			return PlanTwoStage
+		}
+		if f[n.Feature] <= n.Threshold {
+			i = n.Left
+		} else {
+			i = n.Right
+		}
+		if i < 0 || i >= len(nodes) {
+			return PlanTwoStage
+		}
+	}
+	return PlanTwoStage
+}
+
+// Equal reports whether two models are structurally identical — the
+// staleness check cmd/calibrate -check-model runs between the
+// committed model and a fresh fit of the committed calibration data.
+func (m *Model) Equal(other *Model) bool {
+	if len(m.Nodes) != len(other.Nodes) {
+		return false
+	}
+	for i := range m.Nodes {
+		a, b := m.Nodes[i], other.Nodes[i]
+		if a.IsLeaf != b.IsLeaf {
+			return false
+		}
+		if a.IsLeaf {
+			if a.Leaf != b.Leaf {
+				return false
+			}
+			continue
+		}
+		if a.Feature != b.Feature || a.Threshold != b.Threshold ||
+			a.Left != b.Left || a.Right != b.Right {
+			return false
+		}
+	}
+	return true
+}

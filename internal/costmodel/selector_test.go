@@ -1,0 +1,196 @@
+package costmodel
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPlanStringRoundTrip(t *testing.T) {
+	for p := Plan(0); p < NumPlans; p++ {
+		got, err := PlanFromString(p.String())
+		if err != nil || got != p {
+			t.Fatalf("PlanFromString(%q) = %v, %v", p.String(), got, err)
+		}
+	}
+	if _, err := PlanFromString("nonsense"); err == nil {
+		t.Fatal("unknown plan name must error")
+	}
+	if s := Plan(9).String(); s != "Plan(9)" {
+		t.Fatalf("out-of-range plan prints %q", s)
+	}
+}
+
+func TestZeroModelSelectsTwoStage(t *testing.T) {
+	var m Model
+	if got := m.Select(Features{}); got != PlanTwoStage {
+		t.Fatalf("zero model selects %v, want two-stage", got)
+	}
+}
+
+func TestModelSelectRouting(t *testing.T) {
+	// threads <= 1.5 → fused; else imbalance <= 1 → two-stage else csr.
+	m := Model{Nodes: []Node{
+		{Feature: FeatThreads, Threshold: 1.5, Left: 1, Right: 2},
+		{IsLeaf: true, Leaf: PlanFused},
+		{Feature: FeatImbalance, Threshold: 1, Left: 3, Right: 4},
+		{IsLeaf: true, Leaf: PlanTwoStage},
+		{IsLeaf: true, Leaf: PlanCSR},
+	}}
+	var f Features
+	f[FeatThreads] = 1
+	if got := m.Select(f); got != PlanFused {
+		t.Fatalf("threads=1 → %v, want fused", got)
+	}
+	f[FeatThreads] = 4
+	f[FeatImbalance] = 0.5
+	if got := m.Select(f); got != PlanTwoStage {
+		t.Fatalf("threads=4 balanced → %v, want two-stage", got)
+	}
+	f[FeatImbalance] = 2
+	if got := m.Select(f); got != PlanCSR {
+		t.Fatalf("threads=4 imbalanced → %v, want csr", got)
+	}
+}
+
+// Malformed trees must degrade to the reference plan, never hang or
+// panic — Select runs on the multiply hot path.
+func TestModelSelectMalformed(t *testing.T) {
+	cases := map[string]Model{
+		"bad child":   {Nodes: []Node{{Feature: FeatThreads, Threshold: 1, Left: 7, Right: 7}}},
+		"cycle":       {Nodes: []Node{{Feature: FeatThreads, Threshold: 1, Left: 0, Right: 0}}},
+		"bad feature": {Nodes: []Node{{Feature: 99, Threshold: 1, Left: 0, Right: 0}}},
+	}
+	for name, m := range cases {
+		if got := m.Select(Features{}); got != PlanTwoStage {
+			t.Fatalf("%s: Select = %v, want two-stage fallback", name, got)
+		}
+	}
+}
+
+func TestModelEqual(t *testing.T) {
+	a := Model{Nodes: []Node{
+		{Feature: FeatThreads, Threshold: 1.5, Left: 1, Right: 2},
+		{IsLeaf: true, Leaf: PlanFused},
+		{IsLeaf: true, Leaf: PlanCSR},
+	}}
+	b := Model{Nodes: append([]Node(nil), a.Nodes...)}
+	if !a.Equal(&b) {
+		t.Fatal("identical models not Equal")
+	}
+	b.Nodes[2].Leaf = PlanTwoStage
+	if a.Equal(&b) {
+		t.Fatal("models with different leaves Equal")
+	}
+	c := Model{Nodes: a.Nodes[:2]}
+	if a.Equal(&c) {
+		t.Fatal("models with different sizes Equal")
+	}
+}
+
+func TestFeaturesJSONRoundTrip(t *testing.T) {
+	var f Features
+	for i := range f {
+		f[i] = float64(i) + 0.25
+	}
+	data, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"compression_ratio"`) {
+		t.Fatalf("features not marshalled by name: %s", data)
+	}
+	var back Features
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != f {
+		t.Fatalf("round trip: %v != %v", back, f)
+	}
+	if err := json.Unmarshal([]byte(`{"no_such_feature": 1}`), &back); err == nil {
+		t.Fatal("unknown feature name must be rejected")
+	}
+}
+
+func TestDiagnoseExplainsFusedLoss(t *testing.T) {
+	r := &CalibrationReport{
+		Schema: CalibrationSchema, GOMAXPROCS: 1, Reps: 5, Warmup: 1,
+		Samples: []CalibrationSample{
+			{
+				Graph: "g1", Kind: "A", Nodes: 100, Edges: 500, Threads: 4, Cols: 32,
+				Features: featuresWith(FeatThreads, 4),
+				Plans: map[string]PlanMeasurement{
+					"two-stage": {MeanSeconds: 0.010, SpMMSeconds: 0.007, UpdateSeconds: 0.003},
+					"fused":     {MeanSeconds: 0.013, FusedSeconds: 0.013},
+					"csr":       {MeanSeconds: 0.009, SpMMSeconds: 0.009},
+				},
+				Best: "csr", Chosen: "csr",
+			},
+			{
+				Graph: "g2", Kind: "A", Nodes: 100, Edges: 500, Threads: 1, Cols: 32,
+				Features: featuresWith(FeatThreads, 1),
+				Plans: map[string]PlanMeasurement{
+					"two-stage": {MeanSeconds: 0.010, SpMMSeconds: 0.007, UpdateSeconds: 0.003},
+					"fused":     {MeanSeconds: 0.008, FusedSeconds: 0.008},
+				},
+				Best: "fused", Chosen: "fused",
+			},
+		},
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	findings := Diagnose(r)
+	joined := strings.Join(findings, "\n")
+	for _, want := range []string{"threads>1", "threads=1", "fused regression on g1", "csr plan is the measured best"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("findings missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+func TestValidateCatchesLies(t *testing.T) {
+	good := func() *CalibrationReport {
+		return &CalibrationReport{
+			Schema: CalibrationSchema, GOMAXPROCS: 1, Reps: 3, Warmup: 1,
+			Samples: []CalibrationSample{{
+				Graph: "g", Kind: "A", Nodes: 10, Edges: 20, Threads: 1, Cols: 4,
+				Plans: map[string]PlanMeasurement{
+					"two-stage": {MeanSeconds: 0.02},
+					"fused":     {MeanSeconds: 0.01},
+				},
+				Best: "fused", Chosen: "fused",
+			}},
+		}
+	}
+	if err := good().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	r := good()
+	r.Samples[0].Best = "two-stage" // contradicts the measured argmin
+	if err := r.Validate(); err == nil {
+		t.Fatal("wrong Best must fail validation")
+	}
+	r = good()
+	r.Samples[0].Plans["fused"] = PlanMeasurement{MeanSeconds: 0}
+	if err := r.Validate(); err == nil {
+		t.Fatal("non-positive mean must fail validation")
+	}
+	r = good()
+	r.Schema = "bogus"
+	if err := r.Validate(); err == nil {
+		t.Fatal("wrong schema must fail validation")
+	}
+	r = good()
+	r.Samples[0].Features[FeatImbalance] = math.NaN()
+	if err := r.Validate(); err == nil {
+		t.Fatal("NaN feature must fail validation")
+	}
+}
+
+func featuresWith(idx int, v float64) Features {
+	var f Features
+	f[idx] = v
+	return f
+}

@@ -26,34 +26,21 @@ import (
 )
 
 // Sink receives the observability events the forward path emits. The
-// default ObsSink forwards to the process-global internal/obs state;
-// NopSink silences a context (e.g. a latency-critical serving path
-// that wants no shared-cacheline traffic at all).
-type Sink interface {
-	// Begin starts timing one occurrence of stage s.
-	Begin(s obs.Stage) obs.Span
-	// Inc adds one to counter c.
-	Inc(c obs.Counter)
-}
+// interface (and its ObsSink/NopSink implementations) lives in
+// internal/obs so measurement code can scope attribution with an
+// obs.Recorder without importing this package; the aliases below keep
+// the exec-level names every Ctx constructor uses. The default ObsSink
+// forwards to the process-global internal/obs state; NopSink silences
+// a context (e.g. a latency-critical serving path that wants no
+// shared-cacheline traffic at all).
+type Sink = obs.Sink
 
 // ObsSink forwards every event to the package-global internal/obs
 // accumulators — the default, matching the non-ctx entry points.
-type ObsSink struct{}
-
-// Begin forwards to obs.Begin.
-func (ObsSink) Begin(s obs.Stage) obs.Span { return obs.Begin(s) }
-
-// Inc forwards to obs.Inc.
-func (ObsSink) Inc(c obs.Counter) { obs.Inc(c) }
+type ObsSink = obs.ObsSink
 
 // NopSink drops every event.
-type NopSink struct{}
-
-// Begin returns an inert span.
-func (NopSink) Begin(obs.Stage) obs.Span { return obs.Span{} }
-
-// Inc does nothing.
-func (NopSink) Inc(obs.Counter) {}
+type NopSink = obs.NopSink
 
 // Ctx is one execution context: the thread budget a request may use,
 // the sink its instrumentation reports to, and the arena its scratch
@@ -87,6 +74,13 @@ func NewWithSink(threads int, s Sink) *Ctx {
 //
 //cbm:hotpath
 func (c *Ctx) Threads() int { return c.threads }
+
+// Sink exposes the context's observability sink, so instrumented
+// kernels below the Ctx surface (cbm's multiplication plans) can emit
+// spans scoped the same way the context is.
+//
+//cbm:hotpath
+func (c *Ctx) Sink() Sink { return c.sink }
 
 // Begin starts timing one occurrence of stage s on the context's sink.
 //

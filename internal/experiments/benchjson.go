@@ -11,6 +11,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/cbm"
 	"repro/internal/dense"
+	"repro/internal/exec"
 	"repro/internal/gnn"
 	"repro/internal/kernels"
 	"repro/internal/obs"
@@ -26,8 +27,13 @@ import (
 // latency (mean ± σ and p99 per request) under concurrency {1, 4, 8};
 // v4 added concurrency 16 plus the micro-batched CBM serving column
 // (cbm_batched, batched_speedup, mean_batch_cols — batched vs
-// unbatched measured as their own drift-immune pair).
-const BenchSchema = "cbm-bench/v4"
+// unbatched measured as their own drift-immune pair); v5 added the
+// calibrated selector's decision (chosen_plan, selector_speedup — the
+// selected plan's measured mean over the two-stage reference) and the
+// forced CSR-plan timing (cbm_csr_plan), with all three forced plans
+// measured in one interleaved rotation and stage splits attributed
+// through per-plan scoped obs.Recorders.
+const BenchSchema = "cbm-bench/v5"
 
 // BenchTiming is bench.Timing flattened to seconds for JSON.
 type BenchTiming struct {
@@ -41,10 +47,11 @@ func toBenchTiming(t bench.Timing) BenchTiming {
 }
 
 // BenchStageSplit attributes the mean CBM multiplication time to the
-// two pipeline stages of Sec. V-A, measured by the internal/obs span
-// timers (zero when obs is disabled). SpMMSeconds/UpdateSeconds come
-// from the forced two-stage run; FusedSeconds is the span of the
-// forced fused single-pass run.
+// two pipeline stages of Sec. V-A (zero when obs is disabled).
+// SpMMSeconds/UpdateSeconds come from the forced two-stage run;
+// FusedSeconds is the span of the forced fused single-pass run. Each
+// forced plan runs under its own scoped obs.Recorder, so concurrent
+// activity elsewhere in the process cannot leak into the split.
 type BenchStageSplit struct {
 	SpMMSeconds   float64 `json:"spmm_s"`
 	UpdateSeconds float64 `json:"update_s"`
@@ -68,11 +75,22 @@ type BenchDataset struct {
 	CBMMul           BenchTiming `json:"cbm_mul"`
 	CBMTwoStage      BenchTiming `json:"cbm_two_stage"`
 	CBMFused         BenchTiming `json:"cbm_fused"`
+	// CBMCSRPlan is the forced StrategyCSR plan — the represented matrix
+	// multiplied directly through the diag-scaled CSR kernel, skipping
+	// the compression tree (v5).
+	CBMCSRPlan BenchTiming `json:"cbm_csr_plan"`
 	// Speedup is CSR SpMM over CBM MulTo; FusedSpeedup is the forced
 	// two-stage plan over the forced fused plan (> 1 means fusion wins).
-	Speedup      float64         `json:"speedup"`
-	FusedSpeedup float64         `json:"fused_speedup"`
-	Stages       BenchStageSplit `json:"stage_split"`
+	Speedup      float64 `json:"speedup"`
+	FusedSpeedup float64 `json:"fused_speedup"`
+	// ChosenPlan is the plan the calibrated selector picks for this
+	// configuration (cbm.UpdateStrategy string); SelectorSpeedup is the
+	// two-stage reference mean over the chosen plan's measured mean
+	// (> 1 means the selector beat the reference, 1.0 means it chose
+	// the reference itself).
+	ChosenPlan      string          `json:"chosen_plan"`
+	SelectorSpeedup float64         `json:"selector_speedup"`
+	Stages          BenchStageSplit `json:"stage_split"`
 	// Inference is the end-to-end serving comparison: per-request GCN2
 	// engine latency at each probed concurrency level.
 	Inference []BenchInference `json:"inference"`
@@ -159,25 +177,25 @@ func BenchJSON(cfg Config) (*BenchReport, error) {
 
 		tCSR := bench.Measure(cfg.Reps, cfg.Warmup, func() { kernels.SpMMTo(c, a, b, cfg.Threads) })
 		tCBM := bench.Measure(cfg.Reps, cfg.Warmup, func() { m.MulTo(c, b, cfg.Threads) })
-		// The two forced plans are measured paired (alternating rounds)
-		// so machine drift cannot masquerade as a plan difference. One
-		// stage bracket covers both: the plans record disjoint stages
-		// (spmm+update vs fused), so attribution stays clean.
-		_, spmm0 := obs.StageTotals(obs.StageSpMM)
-		_, upd0 := obs.StageTotals(obs.StageUpdate)
-		_, fus0 := obs.StageTotals(obs.StageFused)
-		tTwoStage, tFused := bench.MeasurePaired(cfg.Reps, cfg.Warmup,
-			func() { m.MulToStrategy(c, b, cfg.Threads, cbm.StrategyBranch, 0) },
-			func() { m.MulToStrategy(c, b, cfg.Threads, cbm.StrategyFused, 0) },
+		// The three forced plans are measured in one interleaved rotation
+		// so machine drift cannot masquerade as a plan difference. Each
+		// plan runs under its own scoped obs.Recorder (the CSR plan also
+		// records StageSpMM, so one shared bracket would conflate it with
+		// the two-stage split).
+		recTwo, recFused := obs.NewRecorder(), obs.NewRecorder()
+		ctxTwo := exec.NewWithSink(cfg.Threads, recTwo)
+		ctxFused := exec.NewWithSink(cfg.Threads, recFused)
+		tms := bench.MeasureInterleaved(cfg.Reps, cfg.Warmup,
+			func() { m.MulToStrategyCtx(ctxTwo, c, b, cbm.StrategyBranch, 0) },
+			func() { m.MulToStrategyCtx(ctxFused, c, b, cbm.StrategyFused, 0) },
+			func() { m.MulToStrategy(c, b, cfg.Threads, cbm.StrategyCSR, 0) },
 		)
-		_, spmm1 := obs.StageTotals(obs.StageSpMM)
-		_, upd1 := obs.StageTotals(obs.StageUpdate)
-		_, fus1 := obs.StageTotals(obs.StageFused)
+		tTwoStage, tFused, tCSRPlan := tms[0], tms[1], tms[2]
 
 		calls := float64(cfg.Reps + cfg.Warmup)
-		spmmS := float64(spmm1-spmm0) / 1e9 / calls
-		updS := float64(upd1-upd0) / 1e9 / calls
-		fusedS := float64(fus1-fus0) / 1e9 / calls
+		spmmS := recTwo.StageSeconds(obs.StageSpMM) / calls
+		updS := recTwo.StageSeconds(obs.StageUpdate) / calls
+		fusedS := recFused.StageSeconds(obs.StageFused) / calls
 		frac := 0.0
 		if spmmS+updS > 0 {
 			frac = spmmS / (spmmS + updS)
@@ -189,6 +207,18 @@ func BenchJSON(cfg Config) (*BenchReport, error) {
 		fusedSpeedup := math.NaN()
 		if tFused.Seconds() > 0 {
 			fusedSpeedup = tTwoStage.Seconds() / tFused.Seconds()
+		}
+		chosen := m.PlanFor(cfg.Threads, cfg.Cols)
+		chosenMean := tTwoStage.Seconds()
+		switch chosen {
+		case cbm.StrategyFused:
+			chosenMean = tFused.Seconds()
+		case cbm.StrategyCSR:
+			chosenMean = tCSRPlan.Seconds()
+		}
+		selectorSpeedup := math.NaN()
+		if chosenMean > 0 {
+			selectorSpeedup = tTwoStage.Seconds() / chosenMean
 		}
 		inference, err := benchInference(a, alpha, cfg, rng)
 		if err != nil {
@@ -205,8 +235,11 @@ func BenchJSON(cfg Config) (*BenchReport, error) {
 			CBMMul:           toBenchTiming(tCBM),
 			CBMTwoStage:      toBenchTiming(tTwoStage),
 			CBMFused:         toBenchTiming(tFused),
+			CBMCSRPlan:       toBenchTiming(tCSRPlan),
 			Speedup:          speedup,
 			FusedSpeedup:     fusedSpeedup,
+			ChosenPlan:       chosen.String(),
+			SelectorSpeedup:  selectorSpeedup,
 			Stages: BenchStageSplit{
 				SpMMSeconds:   spmmS,
 				UpdateSeconds: updS,
@@ -407,8 +440,19 @@ func ReadBenchReport(r io.Reader) (*BenchReport, error) {
 			return nil, fmt.Errorf("experiments: bench report entry %+v is incomplete", d)
 		}
 		if d.CBMMul.MeanSeconds <= 0 || d.CSRSpMM.MeanSeconds <= 0 ||
-			d.CBMTwoStage.MeanSeconds <= 0 || d.CBMFused.MeanSeconds <= 0 {
+			d.CBMTwoStage.MeanSeconds <= 0 || d.CBMFused.MeanSeconds <= 0 ||
+			d.CBMCSRPlan.MeanSeconds <= 0 {
 			return nil, fmt.Errorf("experiments: bench report entry %s has non-positive timings", d.Name)
+		}
+		switch d.ChosenPlan {
+		case cbm.StrategyBranch.String(), cbm.StrategyFused.String(), cbm.StrategyCSR.String():
+		default:
+			return nil, fmt.Errorf("experiments: bench report entry %s has unknown chosen_plan %q",
+				d.Name, d.ChosenPlan)
+		}
+		if !(d.SelectorSpeedup > 0) {
+			return nil, fmt.Errorf("experiments: bench report entry %s has non-positive selector_speedup %v",
+				d.Name, d.SelectorSpeedup)
 		}
 		if len(d.Inference) == 0 {
 			return nil, fmt.Errorf("experiments: bench report entry %s has no inference latencies", d.Name)
@@ -435,7 +479,8 @@ func ReadBenchReport(r io.Reader) (*BenchReport, error) {
 func WriteBench(w io.Writer, r *BenchReport) {
 	t := &bench.Table{Header: []string{
 		"Graph", "Alpha", "ratio", "CSR SpMM", "CBM Mul", "spd",
-		"2stage", "fused", "fspd", "spmm_s", "update_s", "spmm%",
+		"2stage", "fused", "csrplan", "fspd", "plan", "sspd",
+		"spmm_s", "update_s", "spmm%",
 	}}
 	for _, d := range r.Datasets {
 		t.AddRow(d.Name,
@@ -446,7 +491,10 @@ func WriteBench(w io.Writer, r *BenchReport) {
 			fmt.Sprintf("%.2f", d.Speedup),
 			fmt.Sprintf("%.4f", d.CBMTwoStage.MeanSeconds),
 			fmt.Sprintf("%.4f", d.CBMFused.MeanSeconds),
+			fmt.Sprintf("%.4f", d.CBMCSRPlan.MeanSeconds),
 			fmt.Sprintf("%.2f", d.FusedSpeedup),
+			d.ChosenPlan,
+			fmt.Sprintf("%.2f", d.SelectorSpeedup),
 			fmt.Sprintf("%.4f", d.Stages.SpMMSeconds),
 			fmt.Sprintf("%.4f", d.Stages.UpdateSeconds),
 			fmt.Sprintf("%.0f%%", 100*d.Stages.SpMMFraction),

@@ -33,6 +33,17 @@ func TestBenchJSONRoundTrip(t *testing.T) {
 	if d.FusedSpeedup <= 0 {
 		t.Fatalf("fused speedup %v not positive", d.FusedSpeedup)
 	}
+	if d.CBMCSRPlan.MeanSeconds <= 0 {
+		t.Fatalf("csr plan timing not positive: %+v", d.CBMCSRPlan)
+	}
+	switch d.ChosenPlan {
+	case "branch", "fused", "csr":
+	default:
+		t.Fatalf("chosen plan %q is not a selectable strategy", d.ChosenPlan)
+	}
+	if d.SelectorSpeedup <= 0 {
+		t.Fatalf("selector speedup %v not positive", d.SelectorSpeedup)
+	}
 	// obs is enabled, so the split must attribute real time to both
 	// two-stage stages and to the fused pass, and the fraction must be
 	// a sane ratio.
@@ -101,18 +112,33 @@ func TestBenchJSONRoundTrip(t *testing.T) {
 }
 
 func TestReadBenchReportRejectsBadDocuments(t *testing.T) {
+	// timings is a complete, valid per-plan timing block (v5), so each
+	// rejection case below trips exactly the validator it names.
+	const timings = `"csr_spmm":{"mean_s":1},"cbm_mul":{"mean_s":1},"cbm_two_stage":{"mean_s":1},` +
+		`"cbm_fused":{"mean_s":1},"cbm_csr_plan":{"mean_s":1},"chosen_plan":"fused","selector_speedup":1`
 	for name, doc := range map[string]string{
 		"wrong schema": `{"schema":"nope/v9","datasets":[{"name":"x","nodes":1}]}`,
 		"stale v1":     `{"schema":"cbm-bench/v1","datasets":[{"name":"x","nodes":1}]}`,
 		"stale v2":     `{"schema":"cbm-bench/v2","datasets":[{"name":"x","nodes":1}]}`,
 		"stale v3":     `{"schema":"cbm-bench/v3","datasets":[{"name":"x","nodes":1}]}`,
-		"no datasets":  `{"schema":"cbm-bench/v4","datasets":[]}`,
+		"stale v4":     `{"schema":"cbm-bench/v4","datasets":[{"name":"x","nodes":1}]}`,
+		"no datasets":  `{"schema":"cbm-bench/v5","datasets":[]}`,
 		"not json":     `{`,
-		"unknown keys": `{"schema":"cbm-bench/v4","bogus":1,"datasets":[]}`,
-		"no inference": `{"schema":"cbm-bench/v4","datasets":[{"name":"x","nodes":1,` +
-			`"csr_spmm":{"mean_s":1},"cbm_mul":{"mean_s":1},"cbm_two_stage":{"mean_s":1},"cbm_fused":{"mean_s":1}}]}`,
-		"no batched serving": `{"schema":"cbm-bench/v4","datasets":[{"name":"x","nodes":1,` +
+		"unknown keys": `{"schema":"cbm-bench/v5","bogus":1,"datasets":[]}`,
+		"no csr plan timing": `{"schema":"cbm-bench/v5","datasets":[{"name":"x","nodes":1,` +
 			`"csr_spmm":{"mean_s":1},"cbm_mul":{"mean_s":1},"cbm_two_stage":{"mean_s":1},"cbm_fused":{"mean_s":1},` +
+			`"chosen_plan":"fused","selector_speedup":1}]}`,
+		"unknown chosen plan": `{"schema":"cbm-bench/v5","datasets":[{"name":"x","nodes":1,` +
+			`"csr_spmm":{"mean_s":1},"cbm_mul":{"mean_s":1},"cbm_two_stage":{"mean_s":1},` +
+			`"cbm_fused":{"mean_s":1},"cbm_csr_plan":{"mean_s":1},"chosen_plan":"warp","selector_speedup":1}]}`,
+		"missing chosen plan": `{"schema":"cbm-bench/v5","datasets":[{"name":"x","nodes":1,` +
+			`"csr_spmm":{"mean_s":1},"cbm_mul":{"mean_s":1},"cbm_two_stage":{"mean_s":1},` +
+			`"cbm_fused":{"mean_s":1},"cbm_csr_plan":{"mean_s":1},"selector_speedup":1}]}`,
+		"non-positive selector speedup": `{"schema":"cbm-bench/v5","datasets":[{"name":"x","nodes":1,` +
+			`"csr_spmm":{"mean_s":1},"cbm_mul":{"mean_s":1},"cbm_two_stage":{"mean_s":1},` +
+			`"cbm_fused":{"mean_s":1},"cbm_csr_plan":{"mean_s":1},"chosen_plan":"csr","selector_speedup":0}]}`,
+		"no inference": `{"schema":"cbm-bench/v5","datasets":[{"name":"x","nodes":1,` + timings + `}]}`,
+		"no batched serving": `{"schema":"cbm-bench/v5","datasets":[{"name":"x","nodes":1,` + timings + `,` +
 			`"inference":[{"concurrency":1,` +
 			`"csr":{"requests":1,"mean_s":1,"p99_s":1},"cbm":{"requests":1,"mean_s":1,"p99_s":1},"speedup":1}]}]}`,
 	} {

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/costmodel"
+)
+
+// One mini calibration run backs all the assertions below: the sweep is
+// the expensive part, the checks are free.
+func runMiniCalibration(t *testing.T) *costmodel.CalibrationReport {
+	t.Helper()
+	r, err := Calibrate(CalibrateConfig{
+		Seed:     3,
+		Reps:     3,
+		Warmup:   1,
+		Mini:     true,
+		Datasets: []string{"cora", "collab"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestCalibrateMiniSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration sweep in -short")
+	}
+	r := runMiniCalibration(t)
+	// 2 datasets × 2 kinds × 2 threads × 2 cols.
+	if len(r.Samples) != 16 {
+		t.Fatalf("samples = %d, want 16", len(r.Samples))
+	}
+	for _, s := range r.Samples {
+		key := s.Graph + "/" + s.Kind
+		if len(s.Plans) != int(costmodel.NumPlans) {
+			t.Fatalf("%s: %d plans measured, want %d", key, len(s.Plans), costmodel.NumPlans)
+		}
+		two := s.Plans[costmodel.PlanTwoStage.String()]
+		if two.SpMMSeconds <= 0 || two.UpdateSeconds <= 0 {
+			t.Fatalf("%s: two-stage split empty: %+v", key, two)
+		}
+		if fused := s.Plans[costmodel.PlanFused.String()]; fused.FusedSeconds <= 0 {
+			t.Fatalf("%s: fused span empty: %+v", key, fused)
+		}
+		if csr := s.Plans[costmodel.PlanCSR.String()]; csr.SpMMSeconds <= 0 {
+			t.Fatalf("%s: csr plan spmm empty: %+v", key, csr)
+		}
+		if s.Features[costmodel.FeatThreads] != float64(s.Threads) {
+			t.Fatalf("%s: feature threads %v != %d", key, s.Features[costmodel.FeatThreads], s.Threads)
+		}
+		if s.Features[costmodel.FeatCols] != float64(s.Cols) {
+			t.Fatalf("%s: feature cols %v != %d", key, s.Features[costmodel.FeatCols], s.Cols)
+		}
+		if s.Features[costmodel.FeatCompressionRatio] < 1 {
+			t.Fatalf("%s: compression ratio %v < 1 (delta larger than source?)",
+				key, s.Features[costmodel.FeatCompressionRatio])
+		}
+	}
+	// Validate already ran inside Calibrate; the findings must at least
+	// state the fused verdict per thread regime.
+	joined := strings.Join(r.Findings, "\n")
+	if !strings.Contains(joined, "threads=1") || !strings.Contains(joined, "threads>1") {
+		t.Fatalf("findings missing per-regime fused verdict:\n%s", joined)
+	}
+
+	// Round-trip through the committed-artifact path.
+	path := filepath.Join(t.TempDir(), "CALIBRATION.json")
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := costmodel.ReadCalibration(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Samples) != len(r.Samples) {
+		t.Fatalf("round-trip lost samples: %d vs %d", len(back.Samples), len(r.Samples))
+	}
+
+	// Satellite 3's acceptance bound, on this machine's fresh
+	// measurements: the committed selector must never pick a plan more
+	// than 5% (+noise) slower than the best measured plan.
+	if v := Gate(r); len(v) > 0 {
+		t.Fatalf("selector gate violations:\n%s", strings.Join(v, "\n"))
+	}
+}
+
+func TestGateFlagsABadChoice(t *testing.T) {
+	r := &costmodel.CalibrationReport{
+		Samples: []costmodel.CalibrationSample{{
+			Graph: "g", Kind: "A", Threads: 4, Cols: 16,
+			Plans: map[string]costmodel.PlanMeasurement{
+				"two-stage": {MeanSeconds: 1.0},
+				"fused":     {MeanSeconds: 2.0},
+			},
+			Best:   "two-stage",
+			Chosen: "fused",
+		}},
+	}
+	v := Gate(r)
+	if len(v) != 1 || !strings.Contains(v[0], "chosen fused") {
+		t.Fatalf("gate missed a 2× regression: %v", v)
+	}
+	// The same sample passes once the selector picks the best plan.
+	r.Samples[0].Chosen = "two-stage"
+	if v := Gate(r); len(v) != 0 {
+		t.Fatalf("gate flagged the best plan: %v", v)
+	}
+	// A chosen plan that was never measured is its own violation.
+	r.Samples[0].Chosen = "csr"
+	v = Gate(r)
+	if len(v) != 1 || !strings.Contains(v[0], "never measured") {
+		t.Fatalf("gate missed an unmeasured chosen plan: %v", v)
+	}
+}

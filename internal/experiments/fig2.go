@@ -90,7 +90,7 @@ func Fig2(cfg Config) ([]Fig2Series, error) {
 				VirtualChildren: stats.VirtualKids,
 				DeltaNNZ:        m.NumDeltas(),
 				MatNNZ:          a.NNZ(),
-				Modeled16:       costmodel.ModeledSpeedup(a, m, cfg.Cols, 16),
+				Modeled16:       costmodel.ModeledSpeedup(a, m.Shape(), cfg.Cols, 16),
 			})
 		}
 		out = append(out, series)

@@ -82,7 +82,7 @@ func Scaling(cfg Config) ([]ScalingSeries, error) {
 				CSR:            tCSR,
 				CBM:            tCBM,
 				Speedup:        tCSR.Seconds() / tCBM.Seconds(),
-				ModeledSpeedup: costmodel.ModeledSpeedup(a, m, cfg.Cols, p),
+				ModeledSpeedup: costmodel.ModeledSpeedup(a, m.Shape(), cfg.Cols, p),
 				CSRScale:       csr1 / tCSR.Seconds(),
 				CBMScale:       cbm1 / tCBM.Seconds(),
 			})

@@ -38,13 +38,22 @@ func SpMMParallel(s *sparse.CSR, b *dense.Matrix, threads int) *dense.Matrix {
 //
 //cbm:hotpath
 func SpMMTo(c *dense.Matrix, s *sparse.CSR, b *dense.Matrix, threads int) {
+	SpMMToSink(c, s, b, threads, obs.Global)
+}
+
+// SpMMToSink is SpMMTo with an explicit observability sink, so callers
+// measuring through an obs.Recorder (AutoTune, the calibration sweeps)
+// get the SpMM stage attributed to exactly their own calls.
+//
+//cbm:hotpath
+func SpMMToSink(c *dense.Matrix, s *sparse.CSR, b *dense.Matrix, threads int, sink obs.Sink) {
 	if s.Cols != b.Rows {
 		panic(fmt.Sprintf("kernels: SpMM shape mismatch %d×%d · %d×%d", s.Rows, s.Cols, b.Rows, b.Cols))
 	}
 	if c.Rows != s.Rows || c.Cols != b.Cols {
 		panic(fmt.Sprintf("kernels: SpMM output shape mismatch: c is %dx%d, want %dx%d", c.Rows, c.Cols, s.Rows, b.Cols))
 	}
-	obs.Inc(obs.CounterSpMMCalls)
+	sink.Inc(obs.CounterSpMMCalls)
 	// Sequential fast path: run the row loop inline, with a plain
 	// Begin/End span instead of the obs.Do closure — both the loop-body
 	// and the Do closures heap-allocate at this call site even when the
@@ -53,7 +62,7 @@ func SpMMTo(c *dense.Matrix, s *sparse.CSR, b *dense.Matrix, threads int) {
 	// exist to attribute pool-worker samples, which a sequential run
 	// does not have.)
 	if parallel.Sequential(threads, s.Rows) {
-		sp := obs.Begin(obs.StageSpMM)
+		sp := sink.Begin(obs.StageSpMM)
 		for i := 0; i < s.Rows; i++ {
 			spmmRow(c, s, b, i)
 		}
@@ -69,7 +78,7 @@ func SpMMTo(c *dense.Matrix, s *sparse.CSR, b *dense.Matrix, threads int) {
 	if grain < 16 {
 		grain = 16
 	}
-	obs.Do(obs.StageSpMM, func() {
+	obs.DoWith(sink, obs.StageSpMM, func() {
 		parallel.ForDynamic(s.Rows, threads, grain, func(i int) {
 			spmmRow(c, s, b, i)
 		})
@@ -117,6 +126,80 @@ func SpMMRowSegment(dst []float32, s *sparse.CSR, b *dense.Matrix, i, lo, hi int
 		} else {
 			blas.Axpy(v, seg, dst)
 		}
+	}
+}
+
+// SpMMDiagTo computes c = diag(left)·s·diag(right)·b without ever
+// materializing the scaled sparse matrix: row i accumulates
+// right[j]·s[i,j]·b[j,:] over the row's nonzeros and is then scaled by
+// left[i]. A nil diagonal means identity. This is the memory-free CSR
+// execution plan for the scaled factorizations (AD: right only; DAD:
+// both) — what cbm.StrategyCSR runs when the plan selector decides the
+// compression tree does not pay on a graph. Per-row accumulation order
+// is the stored column order and rows are independent, so results are
+// bitwise identical across thread counts.
+//
+//cbm:hotpath
+func SpMMDiagTo(c *dense.Matrix, s *sparse.CSR, b *dense.Matrix, left, right []float32, threads int, sink obs.Sink) {
+	if s.Cols != b.Rows {
+		panic(fmt.Sprintf("kernels: SpMMDiag shape mismatch %d×%d · %d×%d", s.Rows, s.Cols, b.Rows, b.Cols))
+	}
+	if c.Rows != s.Rows || c.Cols != b.Cols {
+		panic(fmt.Sprintf("kernels: SpMMDiag output shape mismatch: c is %dx%d, want %dx%d", c.Rows, c.Cols, s.Rows, b.Cols))
+	}
+	if left != nil && len(left) != s.Rows {
+		panic(fmt.Sprintf("kernels: SpMMDiag left diagonal length %d, want %d", len(left), s.Rows))
+	}
+	if right != nil && len(right) != s.Cols {
+		panic(fmt.Sprintf("kernels: SpMMDiag right diagonal length %d, want %d", len(right), s.Cols))
+	}
+	sink.Inc(obs.CounterSpMMCalls)
+	if parallel.Sequential(threads, s.Rows) {
+		sp := sink.Begin(obs.StageSpMM)
+		for i := 0; i < s.Rows; i++ {
+			spmmDiagRow(c, s, b, left, right, i)
+		}
+		sp.End()
+		return
+	}
+	grain := s.Rows / (8 * parallel.EffectiveThreads(threads, s.Rows))
+	if grain < 16 {
+		grain = 16
+	}
+	obs.DoWith(sink, obs.StageSpMM, func() {
+		parallel.ForDynamic(s.Rows, threads, grain, func(i int) {
+			spmmDiagRow(c, s, b, left, right, i)
+		})
+	})
+}
+
+// spmmDiagRow computes one diag-scaled output row:
+// c[i,:] = left[i] · Σ_k s[i,k]·right[k]·b[k,:].
+//
+//cbm:hotpath
+func spmmDiagRow(c *dense.Matrix, s *sparse.CSR, b *dense.Matrix, left, right []float32, i int) {
+	cols, vals := s.Row(i)
+	crow := c.Row(i)
+	blas.Fill(crow, 0)
+	if right == nil {
+		for k, col := range cols {
+			if v := vals[k]; v == 1 {
+				blas.Add(b.Row(int(col)), crow)
+			} else {
+				blas.Axpy(v, b.Row(int(col)), crow)
+			}
+		}
+	} else {
+		for k, col := range cols {
+			if v := vals[k] * right[col]; v == 1 {
+				blas.Add(b.Row(int(col)), crow)
+			} else {
+				blas.Axpy(v, b.Row(int(col)), crow)
+			}
+		}
+	}
+	if left != nil {
+		blas.Scal(left[i], crow)
 	}
 }
 

@@ -215,9 +215,12 @@ func CounterValue(c Counter) int64 { return counters[c].Load() }
 
 // Span is an in-flight stage timer. The zero Span (returned by Begin
 // when recording is off) is inert: End on it is a no-op. Spans are
-// values — beginning one allocates nothing.
+// values — beginning one allocates nothing. A span begun on a Recorder
+// carries a pointer to it and End folds the duration into the recorder
+// as well as the global totals.
 type Span struct {
 	start time.Time
+	rec   *Recorder
 	stage Stage
 	live  bool
 }
@@ -230,7 +233,9 @@ func Begin(s Stage) Span {
 	return Span{start: time.Now(), stage: s, live: true}
 }
 
-// End stops the span and folds its duration into the stage totals.
+// End stops the span and folds its duration into the stage totals —
+// the global ones always, plus the owning Recorder's when the span was
+// begun on one.
 func (sp Span) End() {
 	if !sp.live {
 		return
@@ -238,6 +243,10 @@ func (sp Span) End() {
 	d := time.Since(sp.start)
 	stages[sp.stage].count.Add(1)
 	stages[sp.stage].nanos.Add(int64(d))
+	if sp.rec != nil {
+		sp.rec.stages[sp.stage].count.Add(1)
+		sp.rec.stages[sp.stage].nanos.Add(int64(d))
+	}
 }
 
 // StageTotals returns the cumulative (count, nanoseconds) recorded for

@@ -51,3 +51,21 @@ func Do(s Stage, f func()) {
 	}
 	sp.End()
 }
+
+// DoWith is Do with the span begun on an explicit sink, so scoped
+// recorders (and NopSink contexts) keep working through the
+// label-aware region helper. The profiling label behaviour is
+// identical to Do.
+func DoWith(sink Sink, s Stage, f func()) {
+	if disabled.Load() {
+		f()
+		return
+	}
+	sp := sink.Begin(s)
+	if profiling.Load() {
+		pprof.Do(context.Background(), labelSets[s], func(context.Context) { f() })
+	} else {
+		f()
+	}
+	sp.End()
+}

@@ -90,15 +90,26 @@ func CheckMulVecConsistency(m *cbm.Matrix, v []float32, threads int, tol Toleran
 }
 
 // CheckStrategyEquivalence verifies every execution plan against
-// single-threaded StrategyBranch, bitwise: StrategyBranchColumn for
-// every (threads, colBlock) pair, StrategyFused for every thread count,
-// and the auto-dispatching MulTo. All plans perform the same
-// per-element operations in the same order; only the work partitioning
-// differs, so a single differing bit convicts a scheduling bug.
+// single-threaded StrategyBranch. The CBM-family plans perform the
+// same per-element operations in the same order, so they must match
+// bitwise: StrategyBranchColumn for every (threads, colBlock) pair and
+// StrategyFused for every thread count. StrategyCSR (when available)
+// sums the original matrix's row directly instead of delta+tree, so it
+// is held to the Loose floating-point tolerance — plus a bitwise
+// thread-determinism check of its own. The auto-dispatching MulTo must
+// be bitwise identical to whatever plan PlanFor says it picks.
 func CheckStrategyEquivalence(m *cbm.Matrix, b *dense.Matrix, threadsList, colBlocks []int) error {
 	want := dense.New(m.Rows(), b.Cols)
 	m.MulToStrategy(want, b, 1, cbm.StrategyBranch, 0)
 	got := dense.New(m.Rows(), b.Cols)
+	var csrWant *dense.Matrix
+	if m.HasCSRPlan() {
+		csrWant = dense.New(m.Rows(), b.Cols)
+		m.MulToStrategy(csrWant, b, 1, cbm.StrategyCSR, 0)
+		if d := Compare(csrWant, want, Loose()); d != nil {
+			return fmt.Errorf("strategy equivalence (csr vs two-stage, threads=1): %w", d)
+		}
+	}
 	for _, threads := range threadsList {
 		for _, blk := range colBlocks {
 			m.MulToStrategy(got, b, threads, cbm.StrategyBranchColumn, blk)
@@ -112,10 +123,25 @@ func CheckStrategyEquivalence(m *cbm.Matrix, b *dense.Matrix, threadsList, colBl
 			d := Compare(got, want, Tolerance{})
 			return fmt.Errorf("strategy equivalence (fused, threads=%d): %w", threads, d)
 		}
+		if csrWant != nil {
+			m.MulToStrategy(got, b, threads, cbm.StrategyCSR, 0)
+			if !got.Equal(csrWant) {
+				d := Compare(got, csrWant, Tolerance{})
+				return fmt.Errorf("strategy equivalence (csr not thread-deterministic, threads=%d): %w", threads, d)
+			}
+		}
+		plan := m.PlanFor(threads, b.Cols)
+		ref := want
+		if plan == cbm.StrategyCSR {
+			ref = csrWant
+		}
+		if ref == nil {
+			return fmt.Errorf("strategy equivalence: PlanFor picked %v but the CSR plan is unavailable", plan)
+		}
 		m.MulTo(got, b, threads)
-		if !got.Equal(want) {
-			d := Compare(got, want, Tolerance{})
-			return fmt.Errorf("strategy equivalence (auto MulTo, threads=%d): %w", threads, d)
+		if !got.Equal(ref) {
+			d := Compare(got, ref, Tolerance{})
+			return fmt.Errorf("strategy equivalence (auto MulTo vs %v plan, threads=%d): %w", plan, threads, d)
 		}
 	}
 	return nil

@@ -40,12 +40,21 @@ func (c StressConfig) normalized() StressConfig {
 // MulToStrategy(StrategyBranchColumn), MulToStrategy(StrategyFused) and
 // MulVecParallel execute concurrently on m with independently
 // randomized thread counts and column-block widths, each checked
-// bitwise against the sequential result. The first discrepancy is
-// returned.
+// bitwise against the sequential result of its own plan family: the
+// tree plans against forced two-stage, the auto MulParallel against
+// whatever plan the selector names for that thread count (the CSR plan
+// is only loose-equivalent to the tree plans, so it gets its own
+// sequential reference). The first discrepancy is returned.
 func StressMatrix(m *cbm.Matrix, b *dense.Matrix, v []float32, cfg StressConfig) error {
 	cfg = cfg.normalized()
 	rng := xrand.New(cfg.Seed)
-	wantC := m.Mul(b)
+	wantC := dense.New(m.Rows(), b.Cols)
+	m.MulToStrategy(wantC, b, 1, cbm.StrategyBranch, 0)
+	var csrWant *dense.Matrix
+	if m.HasCSRPlan() {
+		csrWant = dense.New(m.Rows(), b.Cols)
+		m.MulToStrategy(csrWant, b, 1, cbm.StrategyCSR, 0)
+	}
 	wantY := m.MulVec(v)
 	for it := 0; it < cfg.Iters; it++ {
 		t1 := 2 + rng.Intn(cfg.MaxThreads-1)
@@ -56,8 +65,16 @@ func StressMatrix(m *cbm.Matrix, b *dense.Matrix, v []float32, cfg StressConfig)
 		var e1, e2, e3, e4 error
 		parallel.Do(
 			func() {
-				if got := m.MulParallel(b, t1); !got.Equal(wantC) {
-					e1 = fmt.Errorf("MulParallel(threads=%d): %w", t1, Compare(got, wantC, Tolerance{}))
+				ref := wantC
+				if plan := m.PlanFor(t1, b.Cols); plan == cbm.StrategyCSR {
+					ref = csrWant
+				}
+				if ref == nil {
+					e1 = fmt.Errorf("MulParallel(threads=%d): selector picked the CSR plan but it is unavailable", t1)
+					return
+				}
+				if got := m.MulParallel(b, t1); !got.Equal(ref) {
+					e1 = fmt.Errorf("MulParallel(threads=%d): %w", t1, Compare(got, ref, Tolerance{}))
 				}
 			},
 			func() {
