@@ -42,7 +42,7 @@ echo "==> go test $PKGS"
 go test "$PKGS"
 
 echo "==> go test -race (concurrency-heavy packages)"
-go test -race ./internal/cbm/... ./internal/parallel/... ./internal/kernels/... ./internal/oracle/... ./internal/obs/... ./internal/exec/... ./internal/gnn/... ./internal/clock/...
+go test -race ./internal/cbm/... ./internal/parallel/... ./internal/kernels/... ./internal/oracle/... ./internal/obs/... ./internal/exec/... ./internal/gnn/... ./internal/clock/... ./internal/reorder/...
 
 echo "==> worker-pool stress (-race, reuse + nested submits + determinism)"
 go test -race -count=1 -run 'TestPool' ./internal/parallel/
@@ -68,6 +68,11 @@ go run ./cmd/gcnserve -dataset cora -cols 16 -classes 4 -concurrency 4 -requests
 echo "==> cmd/gcnserve batched smoke (micro-batched vs unbatched sweep)"
 go run ./cmd/gcnserve -dataset cora -cols 16 -classes 4 -requests 3 \
     -batch -concurrencies 1,4 >/dev/null
+
+echo "==> reorder smoke (banded ratio must strictly improve under the similarity permutation)"
+go run ./cmd/cbmcompress -dataset cora -alpha 0 -window 64 -reorder -assert-reorder-gain >/dev/null
+go test -count=1 -run 'TestCheckPermutation|TestReordered|TestPermuteSymmetric' \
+    ./internal/oracle/ ./internal/gnn/ ./internal/sparse/
 
 echo "==> cbmbench metrics smoke (BENCH_cbm.json)"
 go run ./cmd/cbmbench -exp bench -datasets cora -cols 16 -reps 3 -warmup 1 \

@@ -45,6 +45,8 @@ func main() {
 		metrics      = flag.Bool("metrics", false, "dump the internal/obs metrics snapshot as JSON to stderr on exit")
 		profile      = flag.Bool("stage-labels", false, "attach pprof cbm_stage goroutine labels to instrumented regions")
 		plan         = flag.String("plan", "", "process-wide plan mode for MulTo: auto, heuristic, two-stage, fused or csr (default auto; also CBM_PLAN)")
+		doReorder    = flag.Bool("reorder", false, "run -exp bench headline numbers on the similarity-reordered graph (banded candidate build)")
+		window       = flag.Int("window", 0, "candidate band for the bench reorder block (0 = default 64)")
 	)
 	flag.Parse()
 
@@ -88,11 +90,13 @@ func main() {
 	}
 
 	cfg := experiments.Config{
-		Seed:    *seed,
-		Threads: *threads,
-		Cols:    *cols,
-		Reps:    *reps,
-		Warmup:  *warmup,
+		Seed:          *seed,
+		Threads:       *threads,
+		Cols:          *cols,
+		Reps:          *reps,
+		Warmup:        *warmup,
+		Reorder:       *doReorder,
+		ReorderWindow: *window,
 	}
 	if *datasets != "" {
 		cfg.Datasets = strings.Split(*datasets, ",")

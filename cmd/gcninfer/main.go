@@ -15,6 +15,7 @@ import (
 	"repro/internal/dense"
 	"repro/internal/gnn"
 	"repro/internal/obs"
+	"repro/internal/reorder"
 	"repro/internal/xrand"
 )
 
@@ -30,6 +31,8 @@ func main() {
 		metrics     = flag.Bool("metrics", false, "dump the internal/obs metrics snapshot as JSON to stderr on exit")
 		stageLabels = flag.Bool("stage-labels", false, "tag pipeline stages with runtime/pprof labels (cbm_stage=...)")
 		plan        = flag.String("plan", "", "process-wide plan mode for MulTo: auto, heuristic, two-stage, fused or csr (default auto; also CBM_PLAN)")
+		doReorder   = flag.Bool("reorder", false, "run the CBM backend on the similarity-reordered graph (features gathered / outputs scattered transparently)")
+		window      = flag.Int("window", 0, "CBM candidate band |x−y| ≤ window (0 = exact); pairs with -reorder")
 	)
 	flag.Parse()
 	if *stageLabels {
@@ -54,16 +57,32 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	cbmBackend, stats, err := gnn.NewCBMBackend(a, cbm.Options{Alpha: *alpha, Threads: *threads})
-	if err != nil {
-		fatal(err)
+	copt := cbm.Options{Alpha: *alpha, Threads: *threads, Window: *window}
+	var (
+		cbmAdj     gnn.Adjacency // what we time: raw or permutation-wrapped
+		cbmBackend *gnn.CBMAdjacency
+		stats      cbm.BuildStats
+	)
+	if *doReorder {
+		re, bs, rs, err := gnn.NewReorderedCBMBackend(a, copt, reorder.Options{Threads: *threads})
+		if err != nil {
+			fatal(err)
+		}
+		cbmAdj, cbmBackend, stats = re, re.Inner.(*gnn.CBMAdjacency), bs
+		outf("reorder: %d signature buckets, largest %d\n", rs.Buckets, rs.LargestBucket)
+	} else {
+		b, bs, err := gnn.NewCBMBackend(a, copt)
+		if err != nil {
+			fatal(err)
+		}
+		cbmAdj, cbmBackend, stats = b, b, bs
 	}
 	outf("CBM build: %v (deltas/nnz = %.3f, %d branches)\n",
 		stats.Total(),
 		float64(cbmBackend.M.NumDeltas())/float64(cbmBackend.M.Delta().Rows+a.NNZ()),
 		cbmBackend.M.NumBranches())
 	outf("Â footprint: CSR %s MiB, CBM %s MiB\n",
-		bench.MiB(csrBackend.FootprintBytes()), bench.MiB(cbmBackend.FootprintBytes()))
+		bench.MiB(csrBackend.FootprintBytes()), bench.MiB(cbmAdj.FootprintBytes()))
 
 	rng := xrand.New(*seed + 11)
 	x := dense.New(a.Rows, *cols)
@@ -78,7 +97,7 @@ func main() {
 	// plan MulTo's cost model picked (fused single-pass vs two-stage).
 	fc0, fn0 := obs.StageTotals(obs.StageFused)
 	uc0, un0 := obs.StageTotals(obs.StageUpdate)
-	tCBM := bench.Measure(*reps, 1, func() { model.Infer(cbmBackend, x, th) })
+	tCBM := bench.Measure(*reps, 1, func() { model.Infer(cbmAdj, x, th) })
 	fc1, fn1 := obs.StageTotals(obs.StageFused)
 	uc1, un1 := obs.StageTotals(obs.StageUpdate)
 	outf("inference CSR: %s s\n", tCSR)
@@ -89,7 +108,7 @@ func main() {
 
 	// Correctness cross-check, the paper's 1e-5 criterion.
 	z1 := model.Infer(csrBackend, x, th)
-	z2 := model.Infer(cbmBackend, x, th)
+	z2 := model.Infer(cbmAdj, x, th)
 	outf("max rel diff CSR vs CBM: %.2e\n", dense.MaxRelDiff(z1, z2, 1))
 
 	if *train {
@@ -100,7 +119,7 @@ func main() {
 		small := gnn.NewGCN2(*cols, 32, 4, *seed+9)
 		cfg := gnn.TrainConfig{LR: 0.2, Epochs: 10, Threads: th}
 		tTrainCSR := bench.Measure(1, 0, func() { small.Train(csrBackend, x, labels, nil, cfg) })
-		tTrainCBM := bench.Measure(1, 0, func() { small.Train(cbmBackend, x, labels, nil, cfg) })
+		tTrainCBM := bench.Measure(1, 0, func() { small.Train(cbmAdj, x, labels, nil, cfg) })
 		outf("train 10 epochs CSR: %s s\n", tTrainCSR)
 		outf("train 10 epochs CBM: %s s  (%.2f×)\n",
 			tTrainCBM, tTrainCSR.Seconds()/tTrainCBM.Seconds())

@@ -37,14 +37,17 @@ type candidate struct {
 // per-row list at the maxCand nearest candidates (smallest Hamming
 // distance) — the memory-scaling knob discussed in DESIGN.md; 0 keeps
 // everything. A non-nil cluster assignment restricts candidates to
-// same-cluster rows (see CompressClustered).
+// same-cluster rows (see CompressClustered). window > 0 restricts
+// candidates to the index band |x−y| ≤ window — the ordering-sensitive
+// scalable mode that internal/reorder's similarity permutation feeds
+// (similar rows must be index-adjacent for the band to see them).
 //
 // The second result counts every ordered row pair with a non-empty
 // intersection — the nnz of AAᵀ minus the diagonal. It is the memory
 // the paper's explicit-AAᵀ construction would materialize (the
 // Sec. VIII "92 GiB for Reddit" number) and feeds the memory-wall
 // experiment.
-func buildCandidates(a *sparse.CSR, threads, maxCand int, cluster []int32) ([][]candidate, int64) {
+func buildCandidates(a *sparse.CSR, threads, maxCand int, cluster []int32, window int) ([][]candidate, int64) {
 	n := a.Rows
 	cand := make([][]candidate, n)
 	if n == 0 {
@@ -84,6 +87,9 @@ func buildCandidates(a *sparse.CSR, threads, maxCand int, cluster []int32) ([][]
 				if cluster != nil && cluster[y] != cluster[x] {
 					continue
 				}
+				if window > 0 && absInt(int(y)-x) > window {
+					continue
+				}
 				// savings = 2*inter - nnz(y); keep non-losing parents.
 				if 2*inter < rowNNZ[y] {
 					continue
@@ -117,6 +123,13 @@ func candidateEdgeCount(cand [][]candidate) int {
 
 // savings returns nnz(x) − h for a candidate of row x, given nnz(x).
 func (c candidate) savings(nnzX int32) int32 { return nnzX - c.H }
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
 
 // checkShape validates that a is a square binary matrix small enough
 // for the int32-indexed internals.

@@ -18,7 +18,7 @@ package cbm
 import (
 	"fmt"
 
-	"repro/internal/parallel"
+	"repro/internal/reorder"
 	"repro/internal/sparse"
 )
 
@@ -64,7 +64,7 @@ func CompressClustered(a *sparse.CSR, opt Options, copt ClusterOptions) (*Matrix
 
 	stats := BuildStats{Alpha: opt.Alpha}
 	start := buildClock.Now()
-	cand, pairs := buildCandidates(a, opt.Threads, opt.MaxCandidates, cluster)
+	cand, pairs := buildCandidates(a, opt.Threads, opt.MaxCandidates, cluster, opt.Window)
 	stats.CandidateTime = buildClock.Now().Sub(start)
 	stats.IntersectingPairs = pairs
 	cstats.CandidateEdges = candidateEdgeCount(cand)
@@ -111,48 +111,30 @@ func CompressClustered(a *sparse.CSR, opt Options, copt ClusterOptions) (*Matrix
 
 // minhashClusters assigns every row a cluster id: rows whose full
 // MinHash signature matches share a cluster. Empty rows all map to one
-// cluster (they carry no compression opportunity anyway).
+// cluster (they carry no compression opportunity anyway). The per-hash
+// minima come from the shared internal/reorder signature kernel; this
+// function only folds them into one word and buckets the rows.
 func minhashClusters(a *sparse.CSR, hashes int, seed uint64, threads int) ([]int32, ClusterStats) {
 	n := a.Rows
 	cluster := make([]int32, n)
 	sigs := make([]uint64, n)
+	mat := reorder.Signatures(a, hashes, seed, threads)
 
-	// Per-hash mixing constants derived from the seed.
-	mixers := make([]uint64, hashes)
-	s := seed | 1
-	for i := range mixers {
-		s = s*0x9e3779b97f4a7c15 + 0xbf58476d1ce4e5b9
-		mixers[i] = s | 1
-	}
-
-	parallel.ForRange(n, threads, func(lo, hi int) {
-		for x := lo; x < hi; x++ {
-			cols := a.RowCols(x)
-			if len(cols) == 0 {
-				sigs[x] = 0
-				continue
-			}
-			// Combine the per-hash minima into one signature word.
-			var sig uint64 = 0xcbf29ce484222325
-			for _, mix := range mixers {
-				min := ^uint64(0)
-				for _, c := range cols {
-					h := (uint64(c) + 0x9e3779b97f4a7c15) * mix
-					h ^= h >> 29
-					h *= 0x94d049bb133111eb
-					h ^= h >> 32
-					if h < min {
-						min = h
-					}
-				}
-				sig = (sig ^ min) * 0x100000001b3
-			}
-			if sig == 0 {
-				sig = 1 // reserve 0 for empty rows
-			}
-			sigs[x] = sig
+	for x := 0; x < n; x++ {
+		if a.RowNNZ(x) == 0 {
+			sigs[x] = 0
+			continue
 		}
-	})
+		// Combine the per-hash minima into one signature word (FNV fold).
+		var sig uint64 = 0xcbf29ce484222325
+		for _, min := range mat[x*hashes : (x+1)*hashes] {
+			sig = (sig ^ min) * 0x100000001b3
+		}
+		if sig == 0 {
+			sig = 1 // reserve 0 for empty rows
+		}
+		sigs[x] = sig
+	}
 
 	ids := make(map[uint64]int32, n/4)
 	sizes := []int{}

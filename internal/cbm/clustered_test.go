@@ -4,6 +4,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/reorder"
 	"repro/internal/synth"
 	"repro/internal/xrand"
 )
@@ -106,6 +107,82 @@ func TestClusteredRejectsBadInput(t *testing.T) {
 	coo.Vals[0] = 3
 	if _, _, _, err := CompressClustered(coo, Options{}, ClusterOptions{}); err == nil {
 		t.Fatal("non-binary accepted")
+	}
+}
+
+func TestMinhashClustersDirect(t *testing.T) {
+	// Two interleaved row patterns plus empty rows: the clusterer must
+	// produce exactly three clusters (one per pattern, one for empties)
+	// with the right sizes, independent of thread count.
+	adj := make([][]int32, 30)
+	for i := range adj {
+		switch i % 3 {
+		case 0:
+			adj[i] = []int32{1, 4, 7}
+		case 1:
+			adj[i] = []int32{2, 5, 8}
+		default:
+			adj[i] = nil
+		}
+	}
+	a := fromAdjForTest(30, adj)
+	c1, s1 := minhashClusters(a, 2, 3, 1)
+	c4, s4 := minhashClusters(a, 2, 3, 4)
+	if s1 != s4 {
+		t.Fatalf("stats differ across threads: %+v vs %+v", s1, s4)
+	}
+	for i := range c1 {
+		if c1[i] != c4[i] {
+			t.Fatalf("cluster assignment differs across threads at row %d", i)
+		}
+	}
+	if s1.Clusters != 3 {
+		t.Fatalf("clusters = %d, want 3", s1.Clusters)
+	}
+	if s1.LargestCluster != 10 {
+		t.Fatalf("largest cluster = %d, want 10", s1.LargestCluster)
+	}
+	// Same pattern ⇒ same cluster; different patterns ⇒ different.
+	for i := 3; i < 30; i++ {
+		if c1[i] != c1[i%3] {
+			t.Fatalf("row %d not clustered with its pattern", i)
+		}
+	}
+	if c1[0] == c1[1] || c1[0] == c1[2] || c1[1] == c1[2] {
+		t.Fatalf("distinct patterns share a cluster: %v", c1[:3])
+	}
+	// CandidateEdges is filled later by CompressClustered, not here.
+	if s1.CandidateEdges != 0 {
+		t.Fatalf("CandidateEdges pre-filled: %d", s1.CandidateEdges)
+	}
+}
+
+func TestMinhashClustersMatchesSharedSignatureKernel(t *testing.T) {
+	// The cluster partition must follow the shared reorder.Signatures
+	// kernel exactly: rows agree on every per-hash minimum iff they
+	// share a cluster (modulo the empty-row bucket).
+	a := synth.SBMGroups(300, 15, 0.75, 0.6, 21)
+	const hashes, seed = 3, 17
+	cluster, _ := minhashClusters(a, hashes, seed, 2)
+	sigs := reorder.Signatures(a, hashes, seed, 2)
+	sameSig := func(x, y int) bool {
+		for k := 0; k < hashes; k++ {
+			if sigs[x*hashes+k] != sigs[y*hashes+k] {
+				return false
+			}
+		}
+		return true
+	}
+	for x := 0; x < a.Rows; x++ {
+		for y := x + 1; y < a.Rows; y++ {
+			if a.RowNNZ(x) == 0 || a.RowNNZ(y) == 0 {
+				continue
+			}
+			if (cluster[x] == cluster[y]) != sameSig(x, y) {
+				t.Fatalf("rows %d,%d: cluster agreement %v but signature agreement %v",
+					x, y, cluster[x] == cluster[y], sameSig(x, y))
+			}
+		}
 	}
 }
 

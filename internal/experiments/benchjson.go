@@ -15,6 +15,7 @@ import (
 	"repro/internal/gnn"
 	"repro/internal/kernels"
 	"repro/internal/obs"
+	"repro/internal/reorder"
 	"repro/internal/sparse"
 	"repro/internal/xrand"
 )
@@ -32,8 +33,12 @@ import (
 // selected plan's measured mean over the two-stage reference) and the
 // forced CSR-plan timing (cbm_csr_plan), with all three forced plans
 // measured in one interleaved rotation and stage splits attributed
-// through per-plan scoped obs.Recorders.
-const BenchSchema = "cbm-bench/v5"
+// through per-plan scoped obs.Recorders; v6 added the similarity
+// reordering block (reorder: permutation build time, banded
+// compression ratio before/after reordering, and the paired
+// reordered-vs-raw SpMM speedup under the band) plus the `reordered`
+// flag marking whether the headline numbers ran on the permuted graph.
+const BenchSchema = "cbm-bench/v6"
 
 // BenchTiming is bench.Timing flattened to seconds for JSON.
 type BenchTiming struct {
@@ -91,9 +96,32 @@ type BenchDataset struct {
 	ChosenPlan      string          `json:"chosen_plan"`
 	SelectorSpeedup float64         `json:"selector_speedup"`
 	Stages          BenchStageSplit `json:"stage_split"`
+	// Reordered marks that the headline numbers above were measured on
+	// the similarity-permuted graph (Config.Reorder); Reorder is the
+	// always-measured reordering block (v6).
+	Reordered bool         `json:"reordered"`
+	Reorder   BenchReorder `json:"reorder"`
 	// Inference is the end-to-end serving comparison: per-request GCN2
 	// engine latency at each probed concurrency level.
 	Inference []BenchInference `json:"inference"`
+}
+
+// BenchReorder is the v6 similarity-reordering block. The exact CBM
+// build is permutation-invariant (candidates are global and the tree
+// solvers optimal), so RatioExact is reported as the order-free
+// baseline and the before/after comparison runs under the banded
+// candidate build (|x−y| ≤ Window), the regime where row order is the
+// whole game. SpMMSpeedup is the raw-order banded CBM MulTo mean over
+// the reordered banded CBM MulTo mean, measured as a drift-immune
+// pair (> 1 means the permutation made the multiply faster).
+type BenchReorder struct {
+	BuildSeconds float64 `json:"build_s"`
+	Window       int     `json:"window"`
+	Buckets      int     `json:"buckets"`
+	RatioExact   float64 `json:"ratio_exact"`
+	RatioRaw     float64 `json:"ratio_window_raw"`
+	RatioOrdered float64 `json:"ratio_window_reordered"`
+	SpMMSpeedup  float64 `json:"spmm_speedup"`
 }
 
 // BenchLatency summarizes per-request end-to-end inference latency
@@ -164,16 +192,29 @@ func BenchJSON(cfg Config) (*BenchReport, error) {
 		n := a.Rows
 		alpha := d.Paper.BestAlphaPar
 
+		b := dense.New(n, cfg.Cols)
+		rng.FillUniform(b.Data)
+		c := dense.New(n, cfg.Cols)
+
+		reorderBlock, pa, err := benchReorder(a, alpha, cfg, b, c)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: bench %s reorder: %w", d.Name, err)
+		}
+		opt := cbm.Options{Alpha: alpha, Threads: cfg.Threads}
+		if cfg.Reorder {
+			// Headline numbers on the permuted graph: both backends (CSR
+			// and CBM, kernels and serving) see the same row order, so
+			// every comparison below stays apples-to-apples.
+			a = pa
+			opt.Window = cfg.ReorderWindow
+		}
+
 		start := time.Now()
-		m, _, err := cbm.Compress(a, cbm.Options{Alpha: alpha, Threads: cfg.Threads})
+		m, _, err := cbm.Compress(a, opt)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: bench %s: %w", d.Name, err)
 		}
 		build := time.Since(start)
-
-		b := dense.New(n, cfg.Cols)
-		rng.FillUniform(b.Data)
-		c := dense.New(n, cfg.Cols)
 
 		tCSR := bench.Measure(cfg.Reps, cfg.Warmup, func() { kernels.SpMMTo(c, a, b, cfg.Threads) })
 		tCBM := bench.Measure(cfg.Reps, cfg.Warmup, func() { m.MulTo(c, b, cfg.Threads) })
@@ -220,7 +261,7 @@ func BenchJSON(cfg Config) (*BenchReport, error) {
 		if chosenMean > 0 {
 			selectorSpeedup = tTwoStage.Seconds() / chosenMean
 		}
-		inference, err := benchInference(a, alpha, cfg, rng)
+		inference, err := benchInference(a, opt, cfg, rng)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: bench %s inference: %w", d.Name, err)
 		}
@@ -246,10 +287,70 @@ func BenchJSON(cfg Config) (*BenchReport, error) {
 				FusedSeconds:  fusedS,
 				SpMMFraction:  frac,
 			},
+			Reordered: cfg.Reorder,
+			Reorder:   reorderBlock,
 			Inference: inference,
 		})
 	}
 	return report, nil
+}
+
+// benchReorder measures the v6 similarity-reordering block for one
+// dataset and returns the permuted adjacency for optional headline
+// reuse. BuildSeconds covers what a reordering deployment actually
+// pays up front: the MinHash signature pass, the bucket sort and the
+// P·A·Pᵀ apply. The before/after comparison runs under the banded
+// candidate build — the exact build is permutation-invariant, so the
+// exact ratio appears once as the order-free reference. The SpMM pair
+// multiplies the raw-order and the reordered banded matrices through
+// bench.MeasurePaired (rounds alternate which side goes first), with
+// the reordered side fed the row-gathered operand so it times the
+// real deployment path.
+func benchReorder(a *sparse.CSR, alpha int, cfg Config, b, c *dense.Matrix) (BenchReorder, *sparse.CSR, error) {
+	opt := cbm.Options{Alpha: alpha, Threads: cfg.Threads}
+	mExact, _, err := cbm.Compress(a, opt)
+	if err != nil {
+		return BenchReorder{}, nil, err
+	}
+
+	start := time.Now()
+	p, rstats := reorder.Build(a, reorder.Options{Threads: cfg.Threads})
+	pa := a.PermuteSymmetric(p.Perm())
+	buildS := time.Since(start).Seconds()
+
+	wopt := opt
+	wopt.Window = cfg.ReorderWindow
+	mRaw, _, err := cbm.Compress(a, wopt)
+	if err != nil {
+		return BenchReorder{}, nil, err
+	}
+	mOrd, _, err := cbm.Compress(pa, wopt)
+	if err != nil {
+		return BenchReorder{}, nil, err
+	}
+
+	bp := dense.New(b.Rows, b.Cols)
+	p.GatherRows(bp, b)
+	cp := dense.New(c.Rows, c.Cols)
+	tRaw, tOrd := bench.MeasurePaired(cfg.Reps, cfg.Warmup,
+		func() { mRaw.MulTo(c, b, cfg.Threads) },
+		func() { mOrd.MulTo(cp, bp, cfg.Threads) },
+	)
+	speedup := math.NaN()
+	if tOrd.Seconds() > 0 {
+		speedup = tRaw.Seconds() / tOrd.Seconds()
+	}
+
+	s := float64(a.FootprintBytes())
+	return BenchReorder{
+		BuildSeconds: buildS,
+		Window:       cfg.ReorderWindow,
+		Buckets:      rstats.Buckets,
+		RatioExact:   s / float64(mExact.FootprintBytes()),
+		RatioRaw:     s / float64(mRaw.FootprintBytes()),
+		RatioOrdered: s / float64(mOrd.FootprintBytes()),
+		SpMMSpeedup:  speedup,
+	}, pa, nil
 }
 
 // inferenceConcurrency are the serving concurrency levels probed by
@@ -287,12 +388,12 @@ func inferenceRounds(reps int) int {
 // the unbatched CBM engine against the micro-batching one (column
 // budget = concurrency × cols, so a full round coalesces into one
 // wide SpMM) for the v4 batched columns.
-func benchInference(adj *sparse.CSR, alpha int, cfg Config, rng *xrand.RNG) ([]BenchInference, error) {
+func benchInference(adj *sparse.CSR, opt cbm.Options, cfg Config, rng *xrand.RNG) ([]BenchInference, error) {
 	csrB, err := gnn.NewCSRBackend(adj)
 	if err != nil {
 		return nil, err
 	}
-	cbmB, _, err := gnn.NewCBMBackend(adj, cbm.Options{Alpha: alpha, Threads: cfg.Threads})
+	cbmB, _, err := gnn.NewCBMBackend(adj, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -454,6 +555,13 @@ func ReadBenchReport(r io.Reader) (*BenchReport, error) {
 			return nil, fmt.Errorf("experiments: bench report entry %s has non-positive selector_speedup %v",
 				d.Name, d.SelectorSpeedup)
 		}
+		re := d.Reorder
+		if re.Window <= 0 || re.BuildSeconds < 0 ||
+			!(re.RatioExact > 0) || !(re.RatioRaw > 0) || !(re.RatioOrdered > 0) ||
+			!(re.SpMMSpeedup > 0) || re.Buckets <= 0 {
+			return nil, fmt.Errorf("experiments: bench report entry %s has a malformed reorder block %+v",
+				d.Name, re)
+		}
 		if len(d.Inference) == 0 {
 			return nil, fmt.Errorf("experiments: bench report entry %s has no inference latencies", d.Name)
 		}
@@ -528,4 +636,23 @@ func WriteBench(w io.Writer, r *BenchReport) {
 		fmt.Fprint(w, "\nServing — per-request GCN2 engine latency (threads/request=1; batch = micro-batched CBM)\n")
 		fmt.Fprint(w, inf.String())
 	}
+
+	reo := &bench.Table{Header: []string{
+		"Graph", "window", "build_s", "buckets",
+		"ratio exact", "band raw", "band reord", "spmm spd",
+	}}
+	for _, d := range r.Datasets {
+		re := d.Reorder
+		reo.AddRow(d.Name,
+			fmt.Sprintf("%d", re.Window),
+			fmt.Sprintf("%.4f", re.BuildSeconds),
+			fmt.Sprintf("%d", re.Buckets),
+			fmt.Sprintf("%.2f", re.RatioExact),
+			fmt.Sprintf("%.2f", re.RatioRaw),
+			fmt.Sprintf("%.2f", re.RatioOrdered),
+			fmt.Sprintf("%.2f", re.SpMMSpeedup),
+		)
+	}
+	fmt.Fprint(w, "\nReorder — similarity permutation under the banded candidate build (exact ratio is order-invariant)\n")
+	fmt.Fprint(w, reo.String())
 }

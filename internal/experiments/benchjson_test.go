@@ -53,6 +53,14 @@ func TestBenchJSONRoundTrip(t *testing.T) {
 	if d.Stages.SpMMFraction <= 0 || d.Stages.SpMMFraction >= 1 {
 		t.Fatalf("spmm fraction %v out of (0,1)", d.Stages.SpMMFraction)
 	}
+	if d.Reordered {
+		t.Fatal("headline must stay raw-order unless Config.Reorder is set")
+	}
+	re := d.Reorder
+	if re.Window != 64 || re.Buckets <= 0 || re.BuildSeconds < 0 ||
+		re.RatioExact <= 0 || re.RatioRaw <= 0 || re.RatioOrdered <= 0 || re.SpMMSpeedup <= 0 {
+		t.Fatalf("reorder block malformed: %+v", re)
+	}
 	if len(d.Inference) != len(inferenceConcurrency) {
 		t.Fatalf("inference blocks = %d, want %d", len(d.Inference), len(inferenceConcurrency))
 	}
@@ -111,34 +119,77 @@ func TestBenchJSONRoundTrip(t *testing.T) {
 	}
 }
 
+func TestBenchJSONReorderedHeadline(t *testing.T) {
+	cfg := Config{Seed: 1, Threads: 2, Cols: 8, Reps: 2, Warmup: 1,
+		Datasets: []string{"cora"}, Reorder: true, ReorderWindow: 32}
+	r, err := BenchJSON(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := r.Datasets[0]
+	if !d.Reordered {
+		t.Fatal("Config.Reorder not reflected in the report")
+	}
+	if d.Reorder.Window != 32 {
+		t.Fatalf("reorder window = %d, want 32", d.Reorder.Window)
+	}
+	if d.CBMMul.MeanSeconds <= 0 || d.CSRSpMM.MeanSeconds <= 0 {
+		t.Fatalf("reordered headline has non-positive timings: %+v", d)
+	}
+	var buf bytes.Buffer
+	if err := WriteBenchReport(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBenchReport(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("validator rejects a reordered report: %v", err)
+	}
+}
+
 func TestReadBenchReportRejectsBadDocuments(t *testing.T) {
-	// timings is a complete, valid per-plan timing block (v5), so each
-	// rejection case below trips exactly the validator it names.
+	// timings is a complete, valid per-plan timing block plus a valid
+	// reorder block (v6), so each rejection case below trips exactly the
+	// validator it names.
 	const timings = `"csr_spmm":{"mean_s":1},"cbm_mul":{"mean_s":1},"cbm_two_stage":{"mean_s":1},` +
-		`"cbm_fused":{"mean_s":1},"cbm_csr_plan":{"mean_s":1},"chosen_plan":"fused","selector_speedup":1`
+		`"cbm_fused":{"mean_s":1},"cbm_csr_plan":{"mean_s":1},"chosen_plan":"fused","selector_speedup":1,` +
+		`"reorder":{"window":64,"buckets":1,"build_s":0,"ratio_exact":1,` +
+		`"ratio_window_raw":1,"ratio_window_reordered":1,"spmm_speedup":1}`
 	for name, doc := range map[string]string{
 		"wrong schema": `{"schema":"nope/v9","datasets":[{"name":"x","nodes":1}]}`,
 		"stale v1":     `{"schema":"cbm-bench/v1","datasets":[{"name":"x","nodes":1}]}`,
 		"stale v2":     `{"schema":"cbm-bench/v2","datasets":[{"name":"x","nodes":1}]}`,
 		"stale v3":     `{"schema":"cbm-bench/v3","datasets":[{"name":"x","nodes":1}]}`,
 		"stale v4":     `{"schema":"cbm-bench/v4","datasets":[{"name":"x","nodes":1}]}`,
-		"no datasets":  `{"schema":"cbm-bench/v5","datasets":[]}`,
+		"stale v5":     `{"schema":"cbm-bench/v5","datasets":[{"name":"x","nodes":1}]}`,
+		"no datasets":  `{"schema":"cbm-bench/v6","datasets":[]}`,
 		"not json":     `{`,
-		"unknown keys": `{"schema":"cbm-bench/v5","bogus":1,"datasets":[]}`,
-		"no csr plan timing": `{"schema":"cbm-bench/v5","datasets":[{"name":"x","nodes":1,` +
+		"unknown keys": `{"schema":"cbm-bench/v6","bogus":1,"datasets":[]}`,
+		"no csr plan timing": `{"schema":"cbm-bench/v6","datasets":[{"name":"x","nodes":1,` +
 			`"csr_spmm":{"mean_s":1},"cbm_mul":{"mean_s":1},"cbm_two_stage":{"mean_s":1},"cbm_fused":{"mean_s":1},` +
 			`"chosen_plan":"fused","selector_speedup":1}]}`,
-		"unknown chosen plan": `{"schema":"cbm-bench/v5","datasets":[{"name":"x","nodes":1,` +
+		"unknown chosen plan": `{"schema":"cbm-bench/v6","datasets":[{"name":"x","nodes":1,` +
 			`"csr_spmm":{"mean_s":1},"cbm_mul":{"mean_s":1},"cbm_two_stage":{"mean_s":1},` +
 			`"cbm_fused":{"mean_s":1},"cbm_csr_plan":{"mean_s":1},"chosen_plan":"warp","selector_speedup":1}]}`,
-		"missing chosen plan": `{"schema":"cbm-bench/v5","datasets":[{"name":"x","nodes":1,` +
+		"missing chosen plan": `{"schema":"cbm-bench/v6","datasets":[{"name":"x","nodes":1,` +
 			`"csr_spmm":{"mean_s":1},"cbm_mul":{"mean_s":1},"cbm_two_stage":{"mean_s":1},` +
 			`"cbm_fused":{"mean_s":1},"cbm_csr_plan":{"mean_s":1},"selector_speedup":1}]}`,
-		"non-positive selector speedup": `{"schema":"cbm-bench/v5","datasets":[{"name":"x","nodes":1,` +
+		"non-positive selector speedup": `{"schema":"cbm-bench/v6","datasets":[{"name":"x","nodes":1,` +
 			`"csr_spmm":{"mean_s":1},"cbm_mul":{"mean_s":1},"cbm_two_stage":{"mean_s":1},` +
 			`"cbm_fused":{"mean_s":1},"cbm_csr_plan":{"mean_s":1},"chosen_plan":"csr","selector_speedup":0}]}`,
-		"no inference": `{"schema":"cbm-bench/v5","datasets":[{"name":"x","nodes":1,` + timings + `}]}`,
-		"no batched serving": `{"schema":"cbm-bench/v5","datasets":[{"name":"x","nodes":1,` + timings + `,` +
+		"no reorder block": `{"schema":"cbm-bench/v6","datasets":[{"name":"x","nodes":1,` +
+			`"csr_spmm":{"mean_s":1},"cbm_mul":{"mean_s":1},"cbm_two_stage":{"mean_s":1},` +
+			`"cbm_fused":{"mean_s":1},"cbm_csr_plan":{"mean_s":1},"chosen_plan":"fused","selector_speedup":1}]}`,
+		"zero-window reorder block": `{"schema":"cbm-bench/v6","datasets":[{"name":"x","nodes":1,` +
+			`"csr_spmm":{"mean_s":1},"cbm_mul":{"mean_s":1},"cbm_two_stage":{"mean_s":1},` +
+			`"cbm_fused":{"mean_s":1},"cbm_csr_plan":{"mean_s":1},"chosen_plan":"fused","selector_speedup":1,` +
+			`"reorder":{"window":0,"buckets":1,"build_s":0,"ratio_exact":1,` +
+			`"ratio_window_raw":1,"ratio_window_reordered":1,"spmm_speedup":1}}]}`,
+		"non-positive reordered ratio": `{"schema":"cbm-bench/v6","datasets":[{"name":"x","nodes":1,` +
+			`"csr_spmm":{"mean_s":1},"cbm_mul":{"mean_s":1},"cbm_two_stage":{"mean_s":1},` +
+			`"cbm_fused":{"mean_s":1},"cbm_csr_plan":{"mean_s":1},"chosen_plan":"fused","selector_speedup":1,` +
+			`"reorder":{"window":64,"buckets":1,"build_s":0,"ratio_exact":1,` +
+			`"ratio_window_raw":1,"ratio_window_reordered":0,"spmm_speedup":1}}]}`,
+		"no inference": `{"schema":"cbm-bench/v6","datasets":[{"name":"x","nodes":1,` + timings + `}]}`,
+		"no batched serving": `{"schema":"cbm-bench/v6","datasets":[{"name":"x","nodes":1,` + timings + `,` +
 			`"inference":[{"concurrency":1,` +
 			`"csr":{"requests":1,"mean_s":1,"p99_s":1},"cbm":{"requests":1,"mean_s":1,"p99_s":1},"speedup":1}]}]}`,
 	} {

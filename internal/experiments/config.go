@@ -31,6 +31,17 @@ type Config struct {
 	// Alphas is the α sweep for Fig. 2; empty selects the paper's
 	// {0, 1, 2, 4, 8, 16, 32}.
 	Alphas []int
+	// Reorder switches the headline bench measurements onto the
+	// similarity-reordered graph: the adjacency is permuted once up
+	// front and every backend (CSR and CBM, SpMM and serving) runs on
+	// the permuted matrix with the banded candidate build. The
+	// per-dataset reorder block is measured either way.
+	Reorder bool
+	// ReorderWindow is the candidate band |x−y| ≤ w used by the reorder
+	// block's windowed compressions (0 selects the default, 64). The
+	// exact build is order-invariant, so the banded build is where a
+	// similarity permutation can pay off.
+	ReorderWindow int
 }
 
 // Defaults fills unset fields.
@@ -52,6 +63,9 @@ func (c Config) Defaults() Config {
 	}
 	if len(c.Alphas) == 0 {
 		c.Alphas = []int{0, 1, 2, 4, 8, 16, 32}
+	}
+	if c.ReorderWindow == 0 {
+		c.ReorderWindow = 64
 	}
 	return c
 }

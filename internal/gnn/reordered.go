@@ -1,0 +1,87 @@
+// Reordered adjacency backends: the similarity row permutation of
+// internal/reorder carried through GNN inference. The graph is stored
+// permuted (P·Â·Pᵀ — normalization commutes with a symmetric
+// permutation, because degrees relabel with the rows), and every
+// multiply gathers the dense operand into permuted order and scatters
+// the product back, so Forward/InferTo/the batched Engine path all see
+// original row order and work unchanged. Outputs match the raw-order
+// backends within floating-point tolerance, not bitwise: relabelling
+// columns changes the order rows are accumulated in (DESIGN.md).
+
+package gnn
+
+import (
+	"repro/internal/cbm"
+	"repro/internal/dense"
+	"repro/internal/exec"
+	"repro/internal/reorder"
+	"repro/internal/sparse"
+)
+
+// ReorderedAdjacency wraps a backend built on the permuted graph,
+// translating between the caller's original row order and the inner
+// backend's permuted order on every multiply.
+type ReorderedAdjacency struct {
+	Inner Adjacency            // backend over P·Â·Pᵀ
+	P     *reorder.Permutation // the row permutation
+}
+
+// Rows returns the node count.
+func (a *ReorderedAdjacency) Rows() int { return a.Inner.Rows() }
+
+// MulTo computes c = Â·b in original row order: gather b into permuted
+// order, multiply on the permuted backend, scatter the product back.
+func (a *ReorderedAdjacency) MulTo(c, b *dense.Matrix, threads int) {
+	bp := dense.New(b.Rows, b.Cols)
+	cp := dense.New(c.Rows, c.Cols)
+	a.P.GatherRows(bp, b)
+	a.Inner.MulTo(cp, bp, threads)
+	a.P.ScatterRows(c, cp)
+}
+
+// MulToCtx is MulTo on the pooled forward path: the permuted-space
+// scratch comes from the context's arena (uninitialized — gather and
+// the inner multiply overwrite every row), so the reordered backend
+// stays allocation-free per call after warm-up.
+//
+//cbm:hotpath
+func (a *ReorderedAdjacency) MulToCtx(ctx *exec.Ctx, c, b *dense.Matrix) {
+	bp := ctx.BorrowUninit(b.Rows, b.Cols)
+	cp := ctx.BorrowUninit(c.Rows, c.Cols)
+	a.P.GatherRows(bp, b)
+	a.Inner.MulToCtx(ctx, cp, bp)
+	a.P.ScatterRows(c, cp)
+	ctx.Release(cp)
+	ctx.Release(bp)
+}
+
+// FootprintBytes reports the inner representation plus the permutation
+// and its inverse (two int32 per row).
+func (a *ReorderedAdjacency) FootprintBytes() int64 {
+	return a.Inner.FootprintBytes() + int64(8*a.P.Len())
+}
+
+// NewReorderedCSRBackend builds the baseline backend on the
+// similarity-permuted graph: reorder, permute symmetrically,
+// normalize, materialize, wrap.
+func NewReorderedCSRBackend(adj *sparse.CSR, ropt reorder.Options) (*ReorderedAdjacency, reorder.Stats, error) {
+	p, rstats := reorder.Build(adj, ropt)
+	inner, err := NewCSRBackend(adj.PermuteSymmetric(p.Perm()))
+	if err != nil {
+		return nil, reorder.Stats{}, err
+	}
+	return &ReorderedAdjacency{Inner: inner, P: p}, rstats, nil
+}
+
+// NewReorderedCBMBackend builds the CBM backend on the
+// similarity-permuted graph. Pairing opt.Window with the permutation
+// is the scalable mode this exists for: the band only sees good
+// parents once similar rows are index-adjacent.
+func NewReorderedCBMBackend(adj *sparse.CSR, opt cbm.Options, ropt reorder.Options) (*ReorderedAdjacency, cbm.BuildStats, reorder.Stats, error) {
+	p, rstats := reorder.Build(adj, ropt)
+	inner, stats, err := NewCBMBackend(adj.PermuteSymmetric(p.Perm()), opt)
+	if err != nil {
+		return nil, cbm.BuildStats{}, reorder.Stats{}, err
+	}
+	return &ReorderedAdjacency{Inner: inner, P: p}, stats, rstats, nil
+}

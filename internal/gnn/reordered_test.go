@@ -1,0 +1,130 @@
+package gnn
+
+import (
+	"testing"
+
+	"repro/internal/cbm"
+	"repro/internal/dense"
+	"repro/internal/exec"
+	"repro/internal/oracle"
+	"repro/internal/reorder"
+	"repro/internal/synth"
+	"repro/internal/xrand"
+)
+
+// reorderedTol is the permutation-equivalence tolerance: relabelling
+// columns reorders the float accumulations inside every output element,
+// so the reordered path matches the raw path to rounding, not bitwise.
+func reorderedTol() oracle.Tolerance { return oracle.Loose() }
+
+func TestReorderedBackendsMatchRawInference(t *testing.T) {
+	a := synth.SBMGroups(400, 20, 0.8, 0.5, 41)
+	rng := xrand.New(42)
+	x := dense.New(a.Rows, 12)
+	rng.FillUniform(x.Data)
+	model := NewGCN2(12, 10, 5, 43)
+
+	csrRaw, err := NewCSRBackend(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := model.Infer(csrRaw, x, 1)
+
+	ropt := reorder.Options{Seed: 9}
+	csrRe, _, err := NewReorderedCSRBackend(a, ropt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cbmRe, _, _, err := NewReorderedCBMBackend(a, cbm.Options{Alpha: 0}, ropt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	backends := map[string]Adjacency{"csr": csrRe, "cbm": cbmRe}
+	for name, b := range backends {
+		for _, threads := range []int{1, 4} {
+			got := model.Infer(b, x, threads)
+			if d := oracle.Compare(got, want, reorderedTol()); d != nil {
+				t.Fatalf("%s reordered backend (threads=%d) diverges: %v", name, threads, d)
+			}
+			// Pooled path must be bitwise identical to the allocating one.
+			ctx := exec.New(threads)
+			out := dense.New(a.Rows, model.OutDim())
+			model.InferTo(ctx, out, b, x)
+			if !out.Equal(got) {
+				t.Fatalf("%s reordered InferTo (threads=%d) not bitwise equal to Infer", name, threads)
+			}
+		}
+	}
+}
+
+func TestReorderedBackendThroughEngine(t *testing.T) {
+	a := synth.SBMGroups(300, 15, 0.8, 0.4, 51)
+	rng := xrand.New(52)
+	x := dense.New(a.Rows, 8)
+	rng.FillUniform(x.Data)
+	model := NewGCN2(8, 6, 4, 53)
+
+	csrRaw, err := NewCSRBackend(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := model.Infer(csrRaw, x, 1)
+
+	cbmRe, _, _, err := NewReorderedCBMBackend(a, cbm.Options{Alpha: 0}, reorder.Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(model, cbmRe, EngineConfig{MaxInFlight: 2, Threads: 1})
+	out := dense.New(a.Rows, model.OutDim())
+	e.InferTo(out, x)
+	if d := oracle.Compare(out, want, reorderedTol()); d != nil {
+		t.Fatalf("engine on reordered backend diverges: %v", d)
+	}
+	// Batched engine path on the reordered backend.
+	eb := NewEngine(model, cbmRe, EngineConfig{MaxInFlight: 1, Threads: 1,
+		Batch: BatchConfig{MaxCols: 4 * 8}})
+	defer eb.Close()
+	out2 := dense.New(a.Rows, model.OutDim())
+	eb.InferTo(out2, x)
+	if d := oracle.Compare(out2, want, reorderedTol()); d != nil {
+		t.Fatalf("batched engine on reordered backend diverges: %v", d)
+	}
+}
+
+func TestReorderedAdjacencyMulMatchesRaw(t *testing.T) {
+	// The wrapper itself: (P·Â·Pᵀ) with gather/scatter must match the
+	// raw backend's multiply at every thread count, on both MulTo and
+	// the pooled MulToCtx (which must be bitwise equal to MulTo).
+	a := synth.HolmeKim(350, 2, 0.4, 61)
+	rng := xrand.New(62)
+	b := dense.New(a.Rows, 7)
+	rng.FillUniform(b.Data)
+
+	raw, err := NewCSRBackend(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := dense.New(a.Rows, 7)
+	raw.MulTo(want, b, 1)
+
+	re, _, err := NewReorderedCSRBackend(a, reorder.Options{Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.FootprintBytes() <= raw.FootprintBytes() {
+		t.Fatal("reordered footprint must include the permutation")
+	}
+	for _, threads := range []int{1, 4} {
+		got := dense.New(a.Rows, 7)
+		re.MulTo(got, b, threads)
+		if d := oracle.Compare(got, want, reorderedTol()); d != nil {
+			t.Fatalf("reordered MulTo (threads=%d) diverges: %v", threads, d)
+		}
+		ctx := exec.New(threads)
+		got2 := dense.New(a.Rows, 7)
+		re.MulToCtx(ctx, got2, b)
+		if !got2.Equal(got) {
+			t.Fatalf("MulToCtx (threads=%d) not bitwise equal to MulTo", threads)
+		}
+	}
+}

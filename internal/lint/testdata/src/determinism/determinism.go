@@ -65,6 +65,32 @@ func sortedKeysOK(scores map[int]float64) float64 {
 	return sum
 }
 
+// Positive: bucket collection in the style of a signature reorderer —
+// flattening the buckets in map-range order leaks iteration order into
+// the permutation.
+func bucketOrderBad(buckets map[uint64][]int32) []int32 {
+	var perm []int32
+	for _, rows := range buckets {
+		perm = append(perm, rows...) // want `determinism: append to perm in map iteration order`
+	}
+	return perm
+}
+
+// Negative: the reorder idiom — collect bucket keys, sort them, then
+// flatten deterministically.
+func bucketOrderOK(buckets map[uint64][]int32) []int32 {
+	keys := make([]uint64, 0, len(buckets))
+	for k := range buckets {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	var perm []int32
+	for _, k := range keys {
+		perm = append(perm, buckets[k]...)
+	}
+	return perm
+}
+
 // Negative: integer addition commutes; order cannot change the result.
 func intAccumOK(counts map[int]int) int {
 	total := 0

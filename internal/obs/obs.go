@@ -65,6 +65,9 @@ const (
 	// flush start. Its mean is the latency price of coalescing, bounded
 	// by the configured flush window.
 	StageBatchWait
+	// StageReorder is the similarity row-ordering pass
+	// (internal/reorder.Build): signature computation plus the sort.
+	StageReorder
 
 	numStages
 )
@@ -80,6 +83,7 @@ var stageNames = [numStages]string{
 	StageEngine:     "engine",
 	StageBatch:      "batch",
 	StageBatchWait:  "batch_wait",
+	StageReorder:    "reorder",
 }
 
 func (s Stage) String() string {

@@ -1,0 +1,209 @@
+// Package reorder builds similarity-aware row permutations: a
+// preprocessing pass that places rows with similar column sets at
+// nearby indices before CBM compression. The compression tree itself is
+// ordering-invariant — its candidate pass is global and the MST/MCA
+// solvers are optimal, so P·A·Pᵀ compresses to exactly the footprint of
+// A (DESIGN.md §"Row reordering") — but index-locality is what the
+// *scalable* build modes trade on: windowed candidate enumeration
+// (cbm.Options.Window) only sees pairs within an index band, and the
+// SpMM working set walks B's rows in column order, so clustering
+// similar rows buys both candidate recall and cache locality. This is
+// the node-reordering step that makes compressed-representation
+// multiplication profitable on real webgraphs (Francisco et al.,
+// arXiv:1708.07271).
+//
+// The package is in the determinism lint's hot-path scope: permutations
+// depend only on (matrix, Options), never on thread count, map order or
+// the wall clock.
+package reorder
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dense"
+	"repro/internal/obs"
+	"repro/internal/sparse"
+)
+
+// Options configures Build.
+type Options struct {
+	// Hashes is the MinHash signature length used for ordering. More
+	// hashes discriminate finer similarity levels (ties broken by the
+	// next hash), at proportional signature cost. Default 4.
+	Hashes int
+	// Seed drives the hash functions.
+	Seed uint64
+	// Threads used while computing signatures; < 1 selects the default.
+	Threads int
+}
+
+// Stats reports what the ordering pass found.
+type Stats struct {
+	// Buckets counts distinct full signature vectors — rows sharing a
+	// bucket are structurally near-identical and end up adjacent.
+	Buckets int
+	// LargestBucket is the row count of the biggest bucket.
+	LargestBucket int
+}
+
+// Permutation is a validated row permutation together with its
+// inverse. Perm maps new position → source row (position i of the
+// reordered matrix holds row Perm()[i] of the original); Inv maps
+// source row → new position.
+type Permutation struct {
+	perm []int32
+	inv  []int32
+}
+
+// New validates perm (every index in [0,n) exactly once) and returns
+// it with its inverse. It panics on malformed input, naming the
+// offending entry.
+func New(perm []int32) *Permutation {
+	n := len(perm)
+	inv := make([]int32, n)
+	for i := range inv {
+		inv[i] = -1
+	}
+	for i, p := range perm {
+		if p < 0 || int(p) >= n {
+			panic(fmt.Sprintf("reorder: perm[%d]=%d out of range [0,%d)", i, p, n))
+		}
+		if inv[p] != -1 {
+			panic(fmt.Sprintf("reorder: duplicate perm entry %d at positions %d and %d", p, inv[p], i))
+		}
+		inv[p] = int32(i)
+	}
+	pc := make([]int32, n)
+	copy(pc, perm)
+	return &Permutation{perm: pc, inv: inv}
+}
+
+// Identity returns the identity permutation on n rows.
+func Identity(n int) *Permutation {
+	perm := make([]int32, n)
+	inv := make([]int32, n)
+	for i := range perm {
+		perm[i] = int32(i)
+		inv[i] = int32(i)
+	}
+	return &Permutation{perm: perm, inv: inv}
+}
+
+// Len returns the number of rows the permutation acts on.
+func (p *Permutation) Len() int { return len(p.perm) }
+
+// Perm returns the new-position → source-row mapping (read-only by
+// convention).
+func (p *Permutation) Perm() []int32 { return p.perm }
+
+// Inv returns the source-row → new-position mapping (read-only by
+// convention).
+func (p *Permutation) Inv() []int32 { return p.inv }
+
+// GatherRows fills dst with src's rows in permuted order:
+// dst[i] = src[Perm()[i]]. This is the input transform of the
+// reordered multiply path (features into permuted space).
+//
+//cbm:hotpath
+func (p *Permutation) GatherRows(dst, src *dense.Matrix) {
+	if dst.Rows != len(p.perm) || src.Rows != len(p.perm) || dst.Cols != src.Cols {
+		panic(fmt.Sprintf("reorder: GatherRows shape mismatch: dst %d×%d, src %d×%d, perm %d",
+			dst.Rows, dst.Cols, src.Rows, src.Cols, len(p.perm)))
+	}
+	for i, s := range p.perm {
+		copy(dst.Row(i), src.Row(int(s)))
+	}
+}
+
+// ScatterRows inverts GatherRows: dst[Perm()[i]] = src[i], returning a
+// permuted-space result to original row order (outputs back to the
+// caller's indexing).
+//
+//cbm:hotpath
+func (p *Permutation) ScatterRows(dst, src *dense.Matrix) {
+	if dst.Rows != len(p.perm) || src.Rows != len(p.perm) || dst.Cols != src.Cols {
+		panic(fmt.Sprintf("reorder: ScatterRows shape mismatch: dst %d×%d, src %d×%d, perm %d",
+			dst.Rows, dst.Cols, src.Rows, src.Cols, len(p.perm)))
+	}
+	for i, s := range p.perm {
+		copy(dst.Row(int(s)), src.Row(i))
+	}
+}
+
+// Build computes a similarity ordering of a's rows. Rows are bucketed
+// by their full MinHash signature vector (see Signatures) — rows
+// sharing a bucket have near-identical neighbourhoods — and the
+// reordered matrix lists buckets by the index of each bucket's first
+// source row, rows within a bucket in ascending source order. The
+// first-occurrence bucket order is what makes the pass safe to apply
+// unconditionally: an input whose rows are already grouped maps to a
+// permutation close to the identity (buckets surface in input order),
+// so existing locality is preserved, while a scrambled input still has
+// its scattered near-duplicates pulled together. The result depends
+// only on (a, opt.Hashes, opt.Seed), never on opt.Threads.
+func Build(a *sparse.CSR, opt Options) (*Permutation, Stats) {
+	sp := obs.Begin(obs.StageReorder)
+	defer sp.End()
+	hashes := opt.Hashes
+	if hashes <= 0 {
+		hashes = 4
+	}
+	n := a.Rows
+	sigs := Signatures(a, hashes, opt.Seed, opt.Threads)
+
+	perm := make([]int32, n)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	sigOf := func(x int32) []uint64 { return sigs[int(x)*hashes : (int(x)+1)*hashes] }
+	sort.Slice(perm, func(i, j int) bool {
+		si, sj := sigOf(perm[i]), sigOf(perm[j])
+		for k := range si {
+			if si[k] != sj[k] {
+				return si[k] < sj[k]
+			}
+		}
+		return perm[i] < perm[j]
+	})
+
+	// Bucket segments are adjacent equal-signature runs; ties broke by
+	// source index, so each segment's first element is its minimum
+	// source row — the first-occurrence key the buckets reorder by.
+	type segment struct{ lo, hi int }
+	var segs []segment
+	stats := Stats{}
+	for i := 0; i < n; {
+		j := i + 1
+		for j < n && equalSig(sigOf(perm[j]), sigOf(perm[i])) {
+			j++
+		}
+		segs = append(segs, segment{i, j})
+		stats.Buckets++
+		if j-i > stats.LargestBucket {
+			stats.LargestBucket = j - i
+		}
+		i = j
+	}
+	sort.Slice(segs, func(x, y int) bool { return perm[segs[x].lo] < perm[segs[y].lo] })
+	ordered := make([]int32, 0, n)
+	for _, s := range segs {
+		ordered = append(ordered, perm[s.lo:s.hi]...)
+	}
+	perm = ordered
+
+	inv := make([]int32, n)
+	for i, s := range perm {
+		inv[s] = int32(i)
+	}
+	return &Permutation{perm: perm, inv: inv}, stats
+}
+
+func equalSig(a, b []uint64) bool {
+	for k := range a {
+		if a[k] != b[k] {
+			return false
+		}
+	}
+	return true
+}

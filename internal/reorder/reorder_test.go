@@ -1,0 +1,170 @@
+package reorder
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dense"
+	"repro/internal/sparse"
+	"repro/internal/synth"
+	"repro/internal/xrand"
+)
+
+func TestNewValidatesPermutation(t *testing.T) {
+	mustPanic := func(name, want string, perm []int32) {
+		t.Helper()
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatalf("%s: no panic", name)
+			}
+			if msg, ok := r.(string); !ok || !strings.Contains(msg, want) {
+				t.Fatalf("%s: panic %v does not mention %q", name, r, want)
+			}
+		}()
+		New(perm)
+	}
+	mustPanic("out of range", "out of range", []int32{0, 3, 1})
+	mustPanic("negative", "out of range", []int32{0, -1, 2})
+	mustPanic("duplicate", "duplicate", []int32{0, 1, 1})
+
+	p := New([]int32{2, 0, 1})
+	if p.Len() != 3 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+	wantInv := []int32{1, 2, 0}
+	for i, v := range p.Inv() {
+		if v != wantInv[i] {
+			t.Fatalf("Inv[%d] = %d, want %d", i, v, wantInv[i])
+		}
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	p := Identity(5)
+	for i := 0; i < 5; i++ {
+		if p.Perm()[i] != int32(i) || p.Inv()[i] != int32(i) {
+			t.Fatalf("identity broken at %d", i)
+		}
+	}
+}
+
+func TestGatherScatterRoundTrip(t *testing.T) {
+	rng := xrand.New(3)
+	src := dense.New(7, 4)
+	rng.FillUniform(src.Data)
+	p := New([]int32{4, 2, 6, 0, 1, 5, 3})
+	g := dense.New(7, 4)
+	p.GatherRows(g, src)
+	for i, s := range p.Perm() {
+		for j := 0; j < 4; j++ {
+			if g.At(i, j) != src.At(int(s), j) {
+				t.Fatalf("gather wrong at (%d,%d)", i, j)
+			}
+		}
+	}
+	back := dense.New(7, 4)
+	p.ScatterRows(back, g)
+	if !back.Equal(src) {
+		t.Fatal("scatter did not invert gather")
+	}
+}
+
+func TestGatherShapePanics(t *testing.T) {
+	p := Identity(4)
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("no panic on shape mismatch")
+		}
+	}()
+	p.GatherRows(dense.New(4, 3), dense.New(4, 2))
+}
+
+func TestBuildDeterministicAcrossThreads(t *testing.T) {
+	a := synth.HolmeKim(700, 2, 0.4, 11)
+	p1, s1 := Build(a, Options{Hashes: 4, Seed: 9, Threads: 1})
+	p4, s4 := Build(a, Options{Hashes: 4, Seed: 9, Threads: 4})
+	if s1 != s4 {
+		t.Fatalf("stats differ across threads: %+v vs %+v", s1, s4)
+	}
+	for i := range p1.Perm() {
+		if p1.Perm()[i] != p4.Perm()[i] {
+			t.Fatalf("permutation differs across threads at %d", i)
+		}
+	}
+}
+
+func TestBuildIsValidPermutation(t *testing.T) {
+	a := synth.SBMGroups(400, 20, 0.8, 0.5, 5)
+	p, stats := Build(a, Options{Seed: 1})
+	seen := make([]bool, a.Rows)
+	for _, s := range p.Perm() {
+		if seen[s] {
+			t.Fatalf("row %d appears twice", s)
+		}
+		seen[s] = true
+	}
+	if stats.Buckets < 1 || stats.LargestBucket < 1 {
+		t.Fatalf("degenerate stats: %+v", stats)
+	}
+	inv := p.Inv()
+	for i, s := range p.Perm() {
+		if inv[s] != int32(i) {
+			t.Fatalf("inverse broken at %d", i)
+		}
+	}
+}
+
+func TestBuildGroupsIdenticalRowsAdjacent(t *testing.T) {
+	// Interleave two row patterns: evens share one neighbourhood, odds
+	// another. Similarity ordering must make each pattern contiguous.
+	n := 64
+	adjRows := make([][]int32, n)
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			adjRows[i] = []int32{1, 3, 5, 7}
+		} else {
+			adjRows[i] = []int32{0, 2, 4, 6}
+		}
+	}
+	a := fromAdj(n, adjRows)
+	p, stats := Build(a, Options{Hashes: 2, Seed: 4})
+	if stats.Buckets != 2 {
+		t.Fatalf("expected 2 buckets, got %d", stats.Buckets)
+	}
+	if stats.LargestBucket != n/2 {
+		t.Fatalf("largest bucket %d, want %d", stats.LargestBucket, n/2)
+	}
+	// Every pair of adjacent positions within a half shares parity.
+	perm := p.Perm()
+	for i := 1; i < n/2; i++ {
+		if perm[i]%2 != perm[0]%2 {
+			t.Fatalf("first half mixes patterns at position %d", i)
+		}
+	}
+	for i := n/2 + 1; i < n; i++ {
+		if perm[i]%2 != perm[n/2]%2 {
+			t.Fatalf("second half mixes patterns at position %d", i)
+		}
+	}
+}
+
+func TestSignaturesEmptyRows(t *testing.T) {
+	a := fromAdj(3, [][]int32{{0, 1}, {}, {0, 1}})
+	sigs := Signatures(a, 3, 7, 1)
+	for k := 0; k < 3; k++ {
+		if sigs[1*3+k] != emptySig {
+			t.Fatalf("empty row signature[%d] = %d, want emptySig", k, sigs[3+k])
+		}
+		if sigs[0*3+k] != sigs[2*3+k] {
+			t.Fatalf("identical rows disagree on hash %d", k)
+		}
+		if sigs[0*3+k] == emptySig {
+			t.Fatalf("non-empty row carries emptySig at hash %d", k)
+		}
+	}
+}
+
+func fromAdj(n int, rows [][]int32) *sparse.CSR {
+	return sparse.FromAdjacency(n, n, rows)
+}

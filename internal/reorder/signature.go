@@ -1,0 +1,80 @@
+// MinHash signature kernel — the one implementation of row-neighbourhood
+// signatures shared by the two consumers that need them: the clustered
+// compression path (internal/cbm's CompressClustered restricts parent
+// candidates to rows whose full signature collides) and this package's
+// similarity reordering pass (rows sorted by signature vector so similar
+// neighbourhoods become index-adjacent).
+//
+// A row's signature is, per hash function, the minimum of a mixed
+// 64-bit hash over its column set. Two rows agree on one MinHash value
+// with probability equal to the Jaccard similarity of their column
+// sets, so agreement across the signature vector concentrates around
+// high-similarity pairs. Everything is derived deterministically from
+// the seed — no global randomness, no map iteration — because this
+// package sits in the determinism lint's hot-path scope.
+
+package reorder
+
+import (
+	"repro/internal/parallel"
+	"repro/internal/sparse"
+)
+
+// emptySig is the per-hash signature of an empty row: no column ever
+// beats it, so empty rows sort after every non-empty row and collide
+// only with each other.
+const emptySig = ^uint64(0)
+
+// Mixers derives the per-hash multiplier constants from a seed — one
+// odd 64-bit mixer per hash function, via a splitmix-style chain. The
+// derivation is shared verbatim with the pre-refactor minhashClusters,
+// so clustered compression keeps its exact cluster assignments.
+func Mixers(hashes int, seed uint64) []uint64 {
+	mixers := make([]uint64, hashes)
+	s := seed | 1
+	for i := range mixers {
+		s = s*0x9e3779b97f4a7c15 + 0xbf58476d1ce4e5b9
+		mixers[i] = s | 1
+	}
+	return mixers
+}
+
+// MinHash returns the minimum mixed hash over a sorted column list for
+// one hash function (identified by its mixer), or emptySig for an
+// empty list.
+func MinHash(cols []int32, mix uint64) uint64 {
+	min := emptySig
+	for _, c := range cols {
+		h := (uint64(c) + 0x9e3779b97f4a7c15) * mix
+		h ^= h >> 29
+		h *= 0x94d049bb133111eb
+		h ^= h >> 32
+		if h < min {
+			min = h
+		}
+	}
+	return min
+}
+
+// Signatures computes the n×hashes MinHash signature matrix of a's
+// rows, row-major (row x's vector is sigs[x*hashes : (x+1)*hashes]).
+// Empty rows carry the all-emptySig vector. The computation is
+// deterministic in (a, hashes, seed) and independent of threads.
+func Signatures(a *sparse.CSR, hashes int, seed uint64, threads int) []uint64 {
+	if hashes < 1 {
+		hashes = 1
+	}
+	n := a.Rows
+	mixers := Mixers(hashes, seed)
+	sigs := make([]uint64, n*hashes)
+	parallel.ForRange(n, threads, func(lo, hi int) {
+		for x := lo; x < hi; x++ {
+			cols := a.RowCols(x)
+			row := sigs[x*hashes : (x+1)*hashes]
+			for i, mix := range mixers {
+				row[i] = MinHash(cols, mix)
+			}
+		}
+	})
+	return sigs
+}

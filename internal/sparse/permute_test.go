@@ -1,0 +1,134 @@
+package sparse
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+// permTestMatrix builds a random square canonical CSR matrix.
+func permTestMatrix(rng *xrand.RNG, n int, density float64) *CSR {
+	coo := NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if rng.Float64() < density {
+				coo.Append(i, j, rng.Float32())
+			}
+		}
+	}
+	return coo.ToCSR()
+}
+
+func randomPerm(rng *xrand.RNG, n int) []int32 {
+	perm := make([]int32, n)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	for i := n - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	return perm
+}
+
+func TestPermuteSymmetricIdentityIsNoOp(t *testing.T) {
+	rng := xrand.New(1)
+	a := permTestMatrix(rng, 40, 0.15)
+	id := make([]int32, a.Rows)
+	for i := range id {
+		id[i] = int32(i)
+	}
+	b := a.PermuteSymmetric(id)
+	if !b.ToDense().Equal(a.ToDense()) {
+		t.Fatal("identity permutation changed the matrix")
+	}
+	for i := range a.RowPtr {
+		if b.RowPtr[i] != a.RowPtr[i] {
+			t.Fatalf("RowPtr[%d] changed", i)
+		}
+	}
+	for k := range a.ColIdx {
+		if b.ColIdx[k] != a.ColIdx[k] || b.Vals[k] != a.Vals[k] {
+			t.Fatalf("entry %d changed", k)
+		}
+	}
+}
+
+func TestPermuteSymmetricRoundTripBitwise(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := 5 + rng.Intn(60)
+		a := permTestMatrix(rng, n, 0.05+0.2*rng.Float64())
+		perm := randomPerm(rng, n)
+		inv := make([]int32, n)
+		for i, p := range perm {
+			inv[p] = int32(i)
+		}
+		b := a.PermuteSymmetric(perm)
+		if err := b.Validate(); err != nil {
+			t.Logf("permuted matrix invalid: %v", err)
+			return false
+		}
+		back := b.PermuteSymmetric(inv)
+		if len(back.ColIdx) != len(a.ColIdx) {
+			return false
+		}
+		for i := range a.RowPtr {
+			if back.RowPtr[i] != a.RowPtr[i] {
+				return false
+			}
+		}
+		for k := range a.ColIdx {
+			if back.ColIdx[k] != a.ColIdx[k] || back.Vals[k] != a.Vals[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermuteSymmetricEntries(t *testing.T) {
+	// B[i][j] must equal A[perm[i]][perm[j]] element by element.
+	rng := xrand.New(7)
+	a := permTestMatrix(rng, 25, 0.2)
+	perm := randomPerm(rng, 25)
+	b := a.PermuteSymmetric(perm)
+	ad, bd := a.ToDense(), b.ToDense()
+	for i := 0; i < 25; i++ {
+		for j := 0; j < 25; j++ {
+			if bd.At(i, j) != ad.At(int(perm[i]), int(perm[j])) {
+				t.Fatalf("B[%d][%d] = %v, want A[%d][%d] = %v",
+					i, j, bd.At(i, j), perm[i], perm[j], ad.At(int(perm[i]), int(perm[j])))
+			}
+		}
+	}
+}
+
+func TestPermuteSymmetricPanics(t *testing.T) {
+	mustPanic := func(name, want string, f func()) {
+		t.Helper()
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatalf("%s: no panic", name)
+			}
+			msg, ok := r.(string)
+			if !ok || !strings.Contains(msg, want) {
+				t.Fatalf("%s: panic %v does not mention %q", name, r, want)
+			}
+		}()
+		f()
+	}
+	rect := NewCSR(3, 4)
+	mustPanic("non-square", "3×4", func() { rect.PermuteSymmetric([]int32{0, 1, 2}) })
+	sq := NewCSR(3, 3)
+	mustPanic("length", "length 2, want 3", func() { sq.PermuteSymmetric([]int32{0, 1}) })
+	mustPanic("out of range", "out of range", func() { sq.PermuteSymmetric([]int32{0, 1, 3}) })
+	mustPanic("negative", "out of range", func() { sq.PermuteSymmetric([]int32{0, -1, 2}) })
+	mustPanic("duplicate", "duplicate", func() { sq.PermuteSymmetric([]int32{0, 1, 1}) })
+}
