@@ -42,7 +42,7 @@ echo "==> go test $PKGS"
 go test "$PKGS"
 
 echo "==> go test -race (concurrency-heavy packages)"
-go test -race ./internal/cbm/... ./internal/parallel/... ./internal/kernels/... ./internal/oracle/... ./internal/obs/... ./internal/exec/... ./internal/gnn/... ./internal/clock/... ./internal/reorder/...
+go test -race ./internal/cbm/... ./internal/parallel/... ./internal/kernels/... ./internal/oracle/... ./internal/obs/... ./internal/exec/... ./internal/gnn/... ./internal/clock/... ./internal/reorder/... ./internal/shard/...
 
 echo "==> worker-pool stress (-race, reuse + nested submits + determinism)"
 go test -race -count=1 -run 'TestPool' ./internal/parallel/
@@ -53,8 +53,14 @@ go test -race -count=1 -run 'TestEngine' ./internal/gnn/
 echo "==> micro-batching smoke (-race, deterministic clock + batched bitwise equivalence)"
 go test -race -count=1 -run 'TestBatcher|TestGatherScatter|TestEngineBatched' ./internal/gnn/
 
-echo "==> zero-alloc smoke (arena + forward path + engine steady state)"
-go test -count=1 -run 'ZeroAlloc|TestArenaSteadyState|TestSAGEBatchAllocs' ./internal/exec/ ./internal/gnn/
+echo "==> zero-alloc smoke (arena + forward path + engine steady state, incl. sharded backend)"
+go test -count=1 -run 'ZeroAlloc|TestArenaSteadyState|TestSAGEBatchAllocs' ./internal/exec/ ./internal/gnn/ ./internal/shard/
+
+echo "==> shard stress (-race, concurrent sharded serving + lease pool)"
+go test -race -count=1 -run 'TestEngineSharded|TestSharded|TestLease|TestProvisionScratch' ./internal/gnn/ ./internal/shard/
+
+echo "==> shard oracle gate (sharded vs unsharded equivalence, shards {1,2,4,8} × threads {1,4})"
+go test -count=1 -run 'TestCheckShardEquivalence' ./internal/oracle/
 
 echo "==> cmd/verify smoke sweep"
 go run ./cmd/verify -n 64 -sweep quick
@@ -69,10 +75,15 @@ echo "==> cmd/gcnserve batched smoke (micro-batched vs unbatched sweep)"
 go run ./cmd/gcnserve -dataset cora -cols 16 -classes 4 -requests 3 \
     -batch -concurrencies 1,4 >/dev/null
 
-echo "==> reorder smoke (banded ratio must strictly improve under the similarity permutation)"
-go run ./cmd/cbmcompress -dataset cora -alpha 0 -window 64 -reorder -assert-reorder-gain >/dev/null
-go test -count=1 -run 'TestCheckPermutation|TestReordered|TestPermuteSymmetric' \
-    ./internal/oracle/ ./internal/gnn/ ./internal/sparse/
+echo "==> reorder smoke (banded ratio must strictly improve under minhash and rcm orders)"
+go run ./cmd/cbmcompress -dataset cora -alpha 0 -window 64 -reorder=minhash -assert-reorder-gain >/dev/null
+go run ./cmd/cbmcompress -dataset cora -alpha 0 -window 64 -reorder=rcm -assert-reorder-gain >/dev/null
+go test -count=1 -run 'TestCheckPermutation|TestReordered|TestPermuteSymmetric|TestRCM' \
+    ./internal/oracle/ ./internal/gnn/ ./internal/sparse/ ./internal/reorder/
+
+echo "==> cmd/gcnserve sharded smoke (row-partitioned backend under concurrent load)"
+go run ./cmd/gcnserve -dataset cora -cols 16 -classes 4 -concurrency 4 -requests 3 \
+    -shards 4 -shard-order rcm >/dev/null
 
 echo "==> cbmbench metrics smoke (BENCH_cbm.json)"
 go run ./cmd/cbmbench -exp bench -datasets cora -cols 16 -reps 3 -warmup 1 \

@@ -35,7 +35,7 @@ func main() {
 		metrics = flag.Bool("metrics", false, "dump the internal/obs metrics snapshot as JSON to stderr on exit")
 
 		window     = flag.Int("window", 0, "restrict candidate parents to |x−y| ≤ window (0 = exact, order-invariant)")
-		doReorder  = flag.Bool("reorder", false, "cluster rows by neighbourhood similarity before compressing; reports before/after ratio")
+		doReorder  = flag.String("reorder", "", "reorder rows before compressing: minhash (similarity) or rcm (bandwidth); reports before/after ratio")
 		assertGain = flag.Bool("assert-reorder-gain", false, "with -reorder: exit non-zero unless the reordered ratio strictly beats the raw ratio")
 	)
 	flag.Parse()
@@ -97,9 +97,13 @@ func main() {
 		reStats   reorder.Stats
 		reordered bool
 	)
-	if *doReorder {
+	if *doReorder != "" {
+		strat, err := reorder.ParseStrategy(*doReorder)
+		if err != nil {
+			fatal(err)
+		}
 		start := time.Now()
-		p, rs := reorder.Build(a, reorder.Options{Threads: *threads})
+		p, rs := reorder.Build(a, reorder.Options{Threads: *threads, Strategy: strat})
 		reBuild = time.Since(start)
 		reStats = rs
 		pa := a.PermuteSymmetric(p.Perm())
@@ -130,8 +134,8 @@ func main() {
 	outf("S_CBM:             %s MiB\n", bench.MiB(m.FootprintBytes()))
 	outf("compression ratio: %.2f×\n", ratio)
 	if reordered {
-		outf("reorder build:     %v (%d buckets, largest %d)\n",
-			reBuild, reStats.Buckets, reStats.LargestBucket)
+		outf("reorder build:     %v (%s: %d buckets, largest %d)\n",
+			reBuild, *doReorder, reStats.Buckets, reStats.LargestBucket)
 		outf("reordered ratio:   %.2f× (raw %.2f×)\n", reRatio, ratio)
 		if *assertGain && reRatio <= ratio {
 			fatal(fmt.Errorf("reordered ratio %.4f did not beat raw %.4f "+

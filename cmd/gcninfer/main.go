@@ -16,6 +16,8 @@ import (
 	"repro/internal/gnn"
 	"repro/internal/obs"
 	"repro/internal/reorder"
+	"repro/internal/shard"
+	"repro/internal/sparse"
 	"repro/internal/xrand"
 )
 
@@ -31,8 +33,10 @@ func main() {
 		metrics     = flag.Bool("metrics", false, "dump the internal/obs metrics snapshot as JSON to stderr on exit")
 		stageLabels = flag.Bool("stage-labels", false, "tag pipeline stages with runtime/pprof labels (cbm_stage=...)")
 		plan        = flag.String("plan", "", "process-wide plan mode for MulTo: auto, heuristic, two-stage, fused or csr (default auto; also CBM_PLAN)")
-		doReorder   = flag.Bool("reorder", false, "run the CBM backend on the similarity-reordered graph (features gathered / outputs scattered transparently)")
+		doReorder   = flag.String("reorder", "", "run the CBM backend on the reordered graph: minhash or rcm (features gathered / outputs scattered transparently)")
 		window      = flag.Int("window", 0, "CBM candidate band |x−y| ≤ window (0 = exact); pairs with -reorder")
+		shards      = flag.Int("shards", 0, "serve the CBM side through the row-partitioned sharded backend (0/1 = unsharded)")
+		shardOrder  = flag.String("shard-order", "", "row ordering before the shard cut: natural (default), minhash or rcm")
 	)
 	flag.Parse()
 	if *stageLabels {
@@ -59,28 +63,41 @@ func main() {
 	}
 	copt := cbm.Options{Alpha: *alpha, Threads: *threads, Window: *window}
 	var (
-		cbmAdj     gnn.Adjacency // what we time: raw or permutation-wrapped
-		cbmBackend *gnn.CBMAdjacency
-		stats      cbm.BuildStats
+		cbmAdj     gnn.Adjacency     // what we time: raw, permutation-wrapped or sharded
+		cbmBackend *gnn.CBMAdjacency // nil in sharded mode
 	)
-	if *doReorder {
-		re, bs, rs, err := gnn.NewReorderedCBMBackend(a, copt, reorder.Options{Threads: *threads})
+	if *shards > 1 {
+		sb, err := gnn.NewShardedCBMBackend(a, shard.Options{Shards: *shards, CBM: copt, ColsHint: *cols}, *shardOrder)
 		if err != nil {
 			fatal(err)
 		}
-		cbmAdj, cbmBackend, stats = re, re.Inner.(*gnn.CBMAdjacency), bs
-		outf("reorder: %d signature buckets, largest %d\n", rs.Buckets, rs.LargestBucket)
+		cbmAdj = sb.Backend
+		halo := 0
+		for _, h := range sb.Stats.HaloNNZ {
+			halo += h
+		}
+		outf("shards: %d (order %q, halo nnz %d, imbalance %d‰)\n",
+			sb.Stats.Shards, shardOrderLabel(*shardOrder), halo, sb.Stats.ImbalancePermille)
+	} else if *doReorder != "" {
+		strat, err := reorder.ParseStrategy(*doReorder)
+		if err != nil {
+			fatal(err)
+		}
+		re, bs, rs, err := gnn.NewReorderedCBMBackend(a, copt, reorder.Options{Threads: *threads, Strategy: strat})
+		if err != nil {
+			fatal(err)
+		}
+		cbmAdj, cbmBackend = re, re.Inner.(*gnn.CBMAdjacency)
+		outf("reorder (%s): %d buckets, largest %d\n", strat, rs.Buckets, rs.LargestBucket)
+		printBuild(a, cbmBackend, bs)
 	} else {
 		b, bs, err := gnn.NewCBMBackend(a, copt)
 		if err != nil {
 			fatal(err)
 		}
-		cbmAdj, cbmBackend, stats = b, b, bs
+		cbmAdj, cbmBackend = b, b
+		printBuild(a, cbmBackend, bs)
 	}
-	outf("CBM build: %v (deltas/nnz = %.3f, %d branches)\n",
-		stats.Total(),
-		float64(cbmBackend.M.NumDeltas())/float64(cbmBackend.M.Delta().Rows+a.NNZ()),
-		cbmBackend.M.NumBranches())
 	outf("Â footprint: CSR %s MiB, CBM %s MiB\n",
 		bench.MiB(csrBackend.FootprintBytes()), bench.MiB(cbmAdj.FootprintBytes()))
 
@@ -90,8 +107,10 @@ func main() {
 	model := gnn.NewGCN2(*cols, *cols, *cols, *seed+7)
 
 	th := *threads
-	outf("plan selector: mode=%s, chosen=%s (threads=%d cols=%d)\n",
-		cbm.CurrentPlanMode(), cbmBackend.M.PlanFor(th, *cols), th, *cols)
+	if cbmBackend != nil {
+		outf("plan selector: mode=%s, chosen=%s (threads=%d cols=%d)\n",
+			cbm.CurrentPlanMode(), cbmBackend.M.PlanFor(th, *cols), th, *cols)
+	}
 	tCSR := bench.Measure(*reps, 1, func() { model.Infer(csrBackend, x, th) })
 	// Stage deltas around the CBM measurement expose which execution
 	// plan MulTo's cost model picked (fused single-pass vs two-stage).
@@ -130,6 +149,22 @@ func main() {
 			fatal(err)
 		}
 	}
+}
+
+// printBuild reports the CBM compression shape (unsharded modes; the
+// sharded backend reports its partition line instead).
+func printBuild(a *sparse.CSR, b *gnn.CBMAdjacency, stats cbm.BuildStats) {
+	outf("CBM build: %v (deltas/nnz = %.3f, %d branches)\n",
+		stats.Total(),
+		float64(b.M.NumDeltas())/float64(b.M.Delta().Rows+a.NNZ()),
+		b.M.NumBranches())
+}
+
+func shardOrderLabel(order string) string {
+	if order == "" {
+		return "natural"
+	}
+	return order
 }
 
 func fatal(err error) {

@@ -16,6 +16,7 @@ import (
 	"repro/internal/kernels"
 	"repro/internal/obs"
 	"repro/internal/reorder"
+	"repro/internal/shard"
 	"repro/internal/sparse"
 	"repro/internal/xrand"
 )
@@ -37,8 +38,12 @@ import (
 // reordering block (reorder: permutation build time, banded
 // compression ratio before/after reordering, and the paired
 // reordered-vs-raw SpMM speedup under the band) plus the `reordered`
-// flag marking whether the headline numbers ran on the permuted graph.
-const BenchSchema = "cbm-bench/v6"
+// flag marking whether the headline numbers ran on the permuted graph;
+// v7 added the ordering strategy name to the reorder block and the
+// sharded block (shard: per shard count, the paired
+// sharded-vs-unsharded CBM MulTo timings plus the partition's halo
+// nonzero total and nnz imbalance).
+const BenchSchema = "cbm-bench/v7"
 
 // BenchTiming is bench.Timing flattened to seconds for JSON.
 type BenchTiming struct {
@@ -101,6 +106,10 @@ type BenchDataset struct {
 	// always-measured reordering block (v6).
 	Reordered bool         `json:"reordered"`
 	Reorder   BenchReorder `json:"reorder"`
+	// Shard is the v7 sharded block: the row-partitioned representation
+	// measured against the unsharded CBM backend at each probed shard
+	// count.
+	Shard []BenchShard `json:"shard"`
 	// Inference is the end-to-end serving comparison: per-request GCN2
 	// engine latency at each probed concurrency level.
 	Inference []BenchInference `json:"inference"`
@@ -115,6 +124,9 @@ type BenchDataset struct {
 // the reordered banded CBM MulTo mean, measured as a drift-immune
 // pair (> 1 means the permutation made the multiply faster).
 type BenchReorder struct {
+	// Strategy names the ordering algorithm measured ("minhash" or
+	// "rcm"; v7).
+	Strategy     string  `json:"strategy"`
 	BuildSeconds float64 `json:"build_s"`
 	Window       int     `json:"window"`
 	Buckets      int     `json:"buckets"`
@@ -122,6 +134,22 @@ type BenchReorder struct {
 	RatioRaw     float64 `json:"ratio_window_raw"`
 	RatioOrdered float64 `json:"ratio_window_reordered"`
 	SpMMSpeedup  float64 `json:"spmm_speedup"`
+}
+
+// BenchShard is one shard count of the v7 sharded block: the same
+// normalized adjacency multiplied through the unsharded CBM backend
+// and through the row-partitioned sharded backend, measured as a
+// drift-immune pair (bench.MeasurePaired). Speedup is the unsharded
+// mean over the sharded mean (> 1 means sharding wins). HaloNNZ is the
+// total cross-block nonzero count the partition pays per multiply;
+// ImbalancePermille is 1000·(max shard nnz − mean)/mean over the cut.
+type BenchShard struct {
+	Shards            int         `json:"shards"`
+	Unsharded         BenchTiming `json:"unsharded_mul"`
+	Sharded           BenchTiming `json:"sharded_mul"`
+	Speedup           float64     `json:"speedup"`
+	HaloNNZ           int         `json:"halo_nnz"`
+	ImbalancePermille int64       `json:"imbalance_permille"`
 }
 
 // BenchLatency summarizes per-request end-to-end inference latency
@@ -265,6 +293,10 @@ func BenchJSON(cfg Config) (*BenchReport, error) {
 		if err != nil {
 			return nil, fmt.Errorf("experiments: bench %s inference: %w", d.Name, err)
 		}
+		shardBlock, err := benchShard(a, opt, cfg, b, c)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: bench %s shard: %w", d.Name, err)
+		}
 		report.Datasets = append(report.Datasets, BenchDataset{
 			Name:             d.Name,
 			Nodes:            n,
@@ -289,6 +321,7 @@ func BenchJSON(cfg Config) (*BenchReport, error) {
 			},
 			Reordered: cfg.Reorder,
 			Reorder:   reorderBlock,
+			Shard:     shardBlock,
 			Inference: inference,
 		})
 	}
@@ -312,9 +345,13 @@ func benchReorder(a *sparse.CSR, alpha int, cfg Config, b, c *dense.Matrix) (Ben
 	if err != nil {
 		return BenchReorder{}, nil, err
 	}
+	strat, err := reorder.ParseStrategy(cfg.ReorderStrategy)
+	if err != nil {
+		return BenchReorder{}, nil, err
+	}
 
 	start := time.Now()
-	p, rstats := reorder.Build(a, reorder.Options{Threads: cfg.Threads})
+	p, rstats := reorder.Build(a, reorder.Options{Threads: cfg.Threads, Strategy: strat})
 	pa := a.PermuteSymmetric(p.Perm())
 	buildS := time.Since(start).Seconds()
 
@@ -343,6 +380,7 @@ func benchReorder(a *sparse.CSR, alpha int, cfg Config, b, c *dense.Matrix) (Ben
 
 	s := float64(a.FootprintBytes())
 	return BenchReorder{
+		Strategy:     strat.String(),
 		BuildSeconds: buildS,
 		Window:       cfg.ReorderWindow,
 		Buckets:      rstats.Buckets,
@@ -351,6 +389,52 @@ func benchReorder(a *sparse.CSR, alpha int, cfg Config, b, c *dense.Matrix) (Ben
 		RatioOrdered: s / float64(mOrd.FootprintBytes()),
 		SpMMSpeedup:  speedup,
 	}, pa, nil
+}
+
+// benchShard measures the v7 sharded block: for each configured shard
+// count, the normalized adjacency served by the row-partitioned
+// backend is raced against the unsharded CBM backend through
+// bench.MeasurePaired (rounds alternate which side goes first, so
+// machine drift cannot masquerade as a sharding win). The unsharded
+// side is rebuilt per pairing only in the timings' warm caches sense —
+// the same backend object is reused across counts; the shard backend
+// carries its own per-shard arenas and pinned plans. Halo nonzeros and
+// the cut's nnz imbalance come from the shard build stats.
+func benchShard(a *sparse.CSR, opt cbm.Options, cfg Config, b, c *dense.Matrix) ([]BenchShard, error) {
+	unsharded, _, err := gnn.NewCBMBackend(a, opt)
+	if err != nil {
+		return nil, err
+	}
+	cu := dense.New(c.Rows, c.Cols)
+	out := make([]BenchShard, 0, len(cfg.ShardCounts))
+	for _, shards := range cfg.ShardCounts {
+		sb, err := gnn.NewShardedCBMBackend(a,
+			shard.Options{Shards: shards, CBM: opt, ColsHint: cfg.Cols}, cfg.ShardOrder)
+		if err != nil {
+			return nil, err
+		}
+		tU, tS := bench.MeasurePaired(cfg.Reps, cfg.Warmup,
+			func() { unsharded.MulTo(cu, b, cfg.Threads) },
+			func() { sb.Backend.MulTo(c, b, cfg.Threads) },
+		)
+		speedup := math.NaN()
+		if tS.Seconds() > 0 {
+			speedup = tU.Seconds() / tS.Seconds()
+		}
+		halo := 0
+		for _, h := range sb.Stats.HaloNNZ {
+			halo += h
+		}
+		out = append(out, BenchShard{
+			Shards:            sb.Stats.Shards,
+			Unsharded:         toBenchTiming(tU),
+			Sharded:           toBenchTiming(tS),
+			Speedup:           speedup,
+			HaloNNZ:           halo,
+			ImbalancePermille: sb.Stats.ImbalancePermille,
+		})
+	}
+	return out, nil
 }
 
 // inferenceConcurrency are the serving concurrency levels probed by
@@ -562,6 +646,23 @@ func ReadBenchReport(r io.Reader) (*BenchReport, error) {
 			return nil, fmt.Errorf("experiments: bench report entry %s has a malformed reorder block %+v",
 				d.Name, re)
 		}
+		if _, err := reorder.ParseStrategy(re.Strategy); err != nil {
+			return nil, fmt.Errorf("experiments: bench report entry %s reorder block: %w", d.Name, err)
+		}
+		if len(d.Shard) == 0 {
+			return nil, fmt.Errorf("experiments: bench report entry %s has no shard block", d.Name)
+		}
+		for _, s := range d.Shard {
+			if s.Shards <= 0 || s.Unsharded.MeanSeconds <= 0 || s.Sharded.MeanSeconds <= 0 ||
+				!(s.Speedup > 0) || s.HaloNNZ < 0 || s.ImbalancePermille < 0 {
+				return nil, fmt.Errorf("experiments: bench report entry %s has a malformed shard block (shards %d)",
+					d.Name, s.Shards)
+			}
+			if s.Shards == 1 && s.HaloNNZ != 0 {
+				return nil, fmt.Errorf("experiments: bench report entry %s: a single-shard cut has no halo, got %d nnz",
+					d.Name, s.HaloNNZ)
+			}
+		}
 		if len(d.Inference) == 0 {
 			return nil, fmt.Errorf("experiments: bench report entry %s has no inference latencies", d.Name)
 		}
@@ -635,6 +736,26 @@ func WriteBench(w io.Writer, r *BenchReport) {
 	if len(inf.Rows) > 0 {
 		fmt.Fprint(w, "\nServing — per-request GCN2 engine latency (threads/request=1; batch = micro-batched CBM)\n")
 		fmt.Fprint(w, inf.String())
+	}
+
+	sh := &bench.Table{Header: []string{
+		"Graph", "shards", "unsharded", "sharded", "spd", "halo nnz", "imbal ‰",
+	}}
+	for _, d := range r.Datasets {
+		for _, s := range d.Shard {
+			sh.AddRow(d.Name,
+				fmt.Sprintf("%d", s.Shards),
+				fmt.Sprintf("%.4f (± %.4f)", s.Unsharded.MeanSeconds, s.Unsharded.StdSeconds),
+				fmt.Sprintf("%.4f (± %.4f)", s.Sharded.MeanSeconds, s.Sharded.StdSeconds),
+				fmt.Sprintf("%.2f", s.Speedup),
+				fmt.Sprintf("%d", s.HaloNNZ),
+				fmt.Sprintf("%d", s.ImbalancePermille),
+			)
+		}
+	}
+	if len(sh.Rows) > 0 {
+		fmt.Fprint(w, "\nShard — row-partitioned vs unsharded CBM MulTo (paired rounds)\n")
+		fmt.Fprint(w, sh.String())
 	}
 
 	reo := &bench.Table{Header: []string{

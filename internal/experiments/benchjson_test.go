@@ -61,6 +61,29 @@ func TestBenchJSONRoundTrip(t *testing.T) {
 		re.RatioExact <= 0 || re.RatioRaw <= 0 || re.RatioOrdered <= 0 || re.SpMMSpeedup <= 0 {
 		t.Fatalf("reorder block malformed: %+v", re)
 	}
+	if re.Strategy != "minhash" {
+		t.Fatalf("default reorder strategy = %q, want minhash", re.Strategy)
+	}
+	if len(d.Shard) != 4 {
+		t.Fatalf("shard blocks = %d, want the default counts {1,2,4,8}", len(d.Shard))
+	}
+	for i, s := range d.Shard {
+		if want := []int{1, 2, 4, 8}[i]; s.Shards != want {
+			t.Fatalf("shard[%d].Shards = %d, want %d", i, s.Shards, want)
+		}
+		if s.Unsharded.MeanSeconds <= 0 || s.Sharded.MeanSeconds <= 0 || s.Speedup <= 0 {
+			t.Fatalf("shard[%d] has non-positive timings: %+v", i, s)
+		}
+		if s.Shards == 1 && s.HaloNNZ != 0 {
+			t.Fatalf("single-shard halo nnz = %d, want 0", s.HaloNNZ)
+		}
+		if s.Shards > 1 && s.HaloNNZ <= 0 {
+			t.Fatalf("shard[%d] halo nnz = %d, want > 0 on a connected SBM", i, s.HaloNNZ)
+		}
+		if s.ImbalancePermille < 0 {
+			t.Fatalf("shard[%d] imbalance = %d", i, s.ImbalancePermille)
+		}
+	}
 	if len(d.Inference) != len(inferenceConcurrency) {
 		t.Fatalf("inference blocks = %d, want %d", len(d.Inference), len(inferenceConcurrency))
 	}
@@ -146,13 +169,14 @@ func TestBenchJSONReorderedHeadline(t *testing.T) {
 }
 
 func TestReadBenchReportRejectsBadDocuments(t *testing.T) {
-	// timings is a complete, valid per-plan timing block plus a valid
-	// reorder block (v6), so each rejection case below trips exactly the
-	// validator it names.
+	// timings is a complete, valid per-plan timing block plus valid
+	// reorder and shard blocks (v7), so each rejection case below trips
+	// exactly the validator it names.
 	const timings = `"csr_spmm":{"mean_s":1},"cbm_mul":{"mean_s":1},"cbm_two_stage":{"mean_s":1},` +
 		`"cbm_fused":{"mean_s":1},"cbm_csr_plan":{"mean_s":1},"chosen_plan":"fused","selector_speedup":1,` +
-		`"reorder":{"window":64,"buckets":1,"build_s":0,"ratio_exact":1,` +
-		`"ratio_window_raw":1,"ratio_window_reordered":1,"spmm_speedup":1}`
+		`"reorder":{"strategy":"minhash","window":64,"buckets":1,"build_s":0,"ratio_exact":1,` +
+		`"ratio_window_raw":1,"ratio_window_reordered":1,"spmm_speedup":1},` +
+		`"shard":[{"shards":2,"unsharded_mul":{"mean_s":1},"sharded_mul":{"mean_s":1},"speedup":1,"halo_nnz":1}]`
 	for name, doc := range map[string]string{
 		"wrong schema": `{"schema":"nope/v9","datasets":[{"name":"x","nodes":1}]}`,
 		"stale v1":     `{"schema":"cbm-bench/v1","datasets":[{"name":"x","nodes":1}]}`,
@@ -160,36 +184,59 @@ func TestReadBenchReportRejectsBadDocuments(t *testing.T) {
 		"stale v3":     `{"schema":"cbm-bench/v3","datasets":[{"name":"x","nodes":1}]}`,
 		"stale v4":     `{"schema":"cbm-bench/v4","datasets":[{"name":"x","nodes":1}]}`,
 		"stale v5":     `{"schema":"cbm-bench/v5","datasets":[{"name":"x","nodes":1}]}`,
-		"no datasets":  `{"schema":"cbm-bench/v6","datasets":[]}`,
+		"stale v6":     `{"schema":"cbm-bench/v6","datasets":[{"name":"x","nodes":1}]}`,
+		"no datasets":  `{"schema":"cbm-bench/v7","datasets":[]}`,
 		"not json":     `{`,
-		"unknown keys": `{"schema":"cbm-bench/v6","bogus":1,"datasets":[]}`,
-		"no csr plan timing": `{"schema":"cbm-bench/v6","datasets":[{"name":"x","nodes":1,` +
+		"unknown keys": `{"schema":"cbm-bench/v7","bogus":1,"datasets":[]}`,
+		"no csr plan timing": `{"schema":"cbm-bench/v7","datasets":[{"name":"x","nodes":1,` +
 			`"csr_spmm":{"mean_s":1},"cbm_mul":{"mean_s":1},"cbm_two_stage":{"mean_s":1},"cbm_fused":{"mean_s":1},` +
 			`"chosen_plan":"fused","selector_speedup":1}]}`,
-		"unknown chosen plan": `{"schema":"cbm-bench/v6","datasets":[{"name":"x","nodes":1,` +
+		"unknown chosen plan": `{"schema":"cbm-bench/v7","datasets":[{"name":"x","nodes":1,` +
 			`"csr_spmm":{"mean_s":1},"cbm_mul":{"mean_s":1},"cbm_two_stage":{"mean_s":1},` +
 			`"cbm_fused":{"mean_s":1},"cbm_csr_plan":{"mean_s":1},"chosen_plan":"warp","selector_speedup":1}]}`,
-		"missing chosen plan": `{"schema":"cbm-bench/v6","datasets":[{"name":"x","nodes":1,` +
+		"missing chosen plan": `{"schema":"cbm-bench/v7","datasets":[{"name":"x","nodes":1,` +
 			`"csr_spmm":{"mean_s":1},"cbm_mul":{"mean_s":1},"cbm_two_stage":{"mean_s":1},` +
 			`"cbm_fused":{"mean_s":1},"cbm_csr_plan":{"mean_s":1},"selector_speedup":1}]}`,
-		"non-positive selector speedup": `{"schema":"cbm-bench/v6","datasets":[{"name":"x","nodes":1,` +
+		"non-positive selector speedup": `{"schema":"cbm-bench/v7","datasets":[{"name":"x","nodes":1,` +
 			`"csr_spmm":{"mean_s":1},"cbm_mul":{"mean_s":1},"cbm_two_stage":{"mean_s":1},` +
 			`"cbm_fused":{"mean_s":1},"cbm_csr_plan":{"mean_s":1},"chosen_plan":"csr","selector_speedup":0}]}`,
-		"no reorder block": `{"schema":"cbm-bench/v6","datasets":[{"name":"x","nodes":1,` +
+		"no reorder block": `{"schema":"cbm-bench/v7","datasets":[{"name":"x","nodes":1,` +
 			`"csr_spmm":{"mean_s":1},"cbm_mul":{"mean_s":1},"cbm_two_stage":{"mean_s":1},` +
 			`"cbm_fused":{"mean_s":1},"cbm_csr_plan":{"mean_s":1},"chosen_plan":"fused","selector_speedup":1}]}`,
-		"zero-window reorder block": `{"schema":"cbm-bench/v6","datasets":[{"name":"x","nodes":1,` +
+		"zero-window reorder block": `{"schema":"cbm-bench/v7","datasets":[{"name":"x","nodes":1,` +
 			`"csr_spmm":{"mean_s":1},"cbm_mul":{"mean_s":1},"cbm_two_stage":{"mean_s":1},` +
 			`"cbm_fused":{"mean_s":1},"cbm_csr_plan":{"mean_s":1},"chosen_plan":"fused","selector_speedup":1,` +
-			`"reorder":{"window":0,"buckets":1,"build_s":0,"ratio_exact":1,` +
+			`"reorder":{"strategy":"minhash","window":0,"buckets":1,"build_s":0,"ratio_exact":1,` +
 			`"ratio_window_raw":1,"ratio_window_reordered":1,"spmm_speedup":1}}]}`,
-		"non-positive reordered ratio": `{"schema":"cbm-bench/v6","datasets":[{"name":"x","nodes":1,` +
+		"non-positive reordered ratio": `{"schema":"cbm-bench/v7","datasets":[{"name":"x","nodes":1,` +
 			`"csr_spmm":{"mean_s":1},"cbm_mul":{"mean_s":1},"cbm_two_stage":{"mean_s":1},` +
 			`"cbm_fused":{"mean_s":1},"cbm_csr_plan":{"mean_s":1},"chosen_plan":"fused","selector_speedup":1,` +
-			`"reorder":{"window":64,"buckets":1,"build_s":0,"ratio_exact":1,` +
+			`"reorder":{"strategy":"minhash","window":64,"buckets":1,"build_s":0,"ratio_exact":1,` +
 			`"ratio_window_raw":1,"ratio_window_reordered":0,"spmm_speedup":1}}]}`,
-		"no inference": `{"schema":"cbm-bench/v6","datasets":[{"name":"x","nodes":1,` + timings + `}]}`,
-		"no batched serving": `{"schema":"cbm-bench/v6","datasets":[{"name":"x","nodes":1,` + timings + `,` +
+		"unknown reorder strategy": `{"schema":"cbm-bench/v7","datasets":[{"name":"x","nodes":1,` +
+			`"csr_spmm":{"mean_s":1},"cbm_mul":{"mean_s":1},"cbm_two_stage":{"mean_s":1},` +
+			`"cbm_fused":{"mean_s":1},"cbm_csr_plan":{"mean_s":1},"chosen_plan":"fused","selector_speedup":1,` +
+			`"reorder":{"strategy":"zcurve","window":64,"buckets":1,"build_s":0,"ratio_exact":1,` +
+			`"ratio_window_raw":1,"ratio_window_reordered":1,"spmm_speedup":1}}]}`,
+		"no shard block": `{"schema":"cbm-bench/v7","datasets":[{"name":"x","nodes":1,` +
+			`"csr_spmm":{"mean_s":1},"cbm_mul":{"mean_s":1},"cbm_two_stage":{"mean_s":1},` +
+			`"cbm_fused":{"mean_s":1},"cbm_csr_plan":{"mean_s":1},"chosen_plan":"fused","selector_speedup":1,` +
+			`"reorder":{"strategy":"minhash","window":64,"buckets":1,"build_s":0,"ratio_exact":1,` +
+			`"ratio_window_raw":1,"ratio_window_reordered":1,"spmm_speedup":1}}]}`,
+		"non-positive sharded timing": `{"schema":"cbm-bench/v7","datasets":[{"name":"x","nodes":1,` +
+			`"csr_spmm":{"mean_s":1},"cbm_mul":{"mean_s":1},"cbm_two_stage":{"mean_s":1},` +
+			`"cbm_fused":{"mean_s":1},"cbm_csr_plan":{"mean_s":1},"chosen_plan":"fused","selector_speedup":1,` +
+			`"reorder":{"strategy":"minhash","window":64,"buckets":1,"build_s":0,"ratio_exact":1,` +
+			`"ratio_window_raw":1,"ratio_window_reordered":1,"spmm_speedup":1},` +
+			`"shard":[{"shards":2,"unsharded_mul":{"mean_s":1},"sharded_mul":{"mean_s":0},"speedup":1}]}]}`,
+		"single-shard halo": `{"schema":"cbm-bench/v7","datasets":[{"name":"x","nodes":1,` +
+			`"csr_spmm":{"mean_s":1},"cbm_mul":{"mean_s":1},"cbm_two_stage":{"mean_s":1},` +
+			`"cbm_fused":{"mean_s":1},"cbm_csr_plan":{"mean_s":1},"chosen_plan":"fused","selector_speedup":1,` +
+			`"reorder":{"strategy":"minhash","window":64,"buckets":1,"build_s":0,"ratio_exact":1,` +
+			`"ratio_window_raw":1,"ratio_window_reordered":1,"spmm_speedup":1},` +
+			`"shard":[{"shards":1,"unsharded_mul":{"mean_s":1},"sharded_mul":{"mean_s":1},"speedup":1,"halo_nnz":3}]}]}`,
+		"no inference": `{"schema":"cbm-bench/v7","datasets":[{"name":"x","nodes":1,` + timings + `}]}`,
+		"no batched serving": `{"schema":"cbm-bench/v7","datasets":[{"name":"x","nodes":1,` + timings + `,` +
 			`"inference":[{"concurrency":1,` +
 			`"csr":{"requests":1,"mean_s":1,"p99_s":1},"cbm":{"requests":1,"mean_s":1,"p99_s":1},"speedup":1}]}]}`,
 	} {

@@ -42,6 +42,16 @@ type Config struct {
 	// exact build is order-invariant, so the banded build is where a
 	// similarity permutation can pay off.
 	ReorderWindow int
+	// ReorderStrategy names the ordering algorithm the reorder block
+	// (and a Reorder headline) runs: "minhash" or "rcm". Empty selects
+	// minhash, the v6 behavior.
+	ReorderStrategy string
+	// ShardCounts are the shard counts the v7 sharded block probes with
+	// paired sharded-vs-unsharded multiplies; empty selects {1, 2, 4, 8}.
+	ShardCounts []int
+	// ShardOrder is the row ordering applied before the contiguous shard
+	// cut ("" or "natural" = input order, "minhash", "rcm").
+	ShardOrder string
 }
 
 // Defaults fills unset fields.
@@ -66,6 +76,12 @@ func (c Config) Defaults() Config {
 	}
 	if c.ReorderWindow == 0 {
 		c.ReorderWindow = 64
+	}
+	if c.ReorderStrategy == "" {
+		c.ReorderStrategy = "minhash"
+	}
+	if len(c.ShardCounts) == 0 {
+		c.ShardCounts = []int{1, 2, 4, 8}
 	}
 	return c
 }

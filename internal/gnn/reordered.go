@@ -61,6 +61,23 @@ func (a *ReorderedAdjacency) FootprintBytes() int64 {
 	return a.Inner.FootprintBytes() + int64(8*a.P.Len())
 }
 
+// ProvisionScratch forwards to the inner backend's provisioner, if
+// any, so an Engine over a reordered sharded backend sizes the
+// per-shard lease pool through the wrapper.
+func (a *ReorderedAdjacency) ProvisionScratch(n int) {
+	if prov, ok := a.Inner.(ScratchProvisioner); ok {
+		prov.ProvisionScratch(n)
+	}
+}
+
+// ScratchLeaks forwards to the inner backend's checker, if any.
+func (a *ReorderedAdjacency) ScratchLeaks() int {
+	if chk, ok := a.Inner.(ScratchChecker); ok {
+		return chk.ScratchLeaks()
+	}
+	return 0
+}
+
 // NewReorderedCSRBackend builds the baseline backend on the
 // similarity-permuted graph: reorder, permute symmetrically,
 // normalize, materialize, wrap.

@@ -1,0 +1,67 @@
+// Sharded adjacency backends: the row-partitioned CBM representation
+// of internal/shard behind the gnn.Adjacency interface, optionally on
+// a reordered graph. The reorder-then-shard composition is the one the
+// partition wants: a contiguous row cut is only balanced *and*
+// halo-light when rows near each other in index space are near each
+// other in the graph, which is exactly what the RCM (or minhash)
+// permutation arranges.
+
+package gnn
+
+import (
+	"fmt"
+
+	"repro/internal/reorder"
+	"repro/internal/shard"
+	"repro/internal/sparse"
+)
+
+// ShardedBuild is what NewShardedCBMBackend produced: the serving
+// backend plus the build-time evidence (shard stats, and the reorder
+// stats when an ordering was applied).
+type ShardedBuild struct {
+	// Backend is the adjacency to serve: the *shard.ShardedAdjacency
+	// itself, or a *ReorderedAdjacency wrapping it when Order != "".
+	Backend Adjacency
+	// Sharded is the underlying sharded representation (also reachable
+	// through Backend; exposed for stats/plan inspection).
+	Sharded *shard.ShardedAdjacency
+	// Stats is the shard build report.
+	Stats shard.Stats
+	// Reorder is the ordering pass report; zero when no ordering ran.
+	Reorder reorder.Stats
+}
+
+// NewShardedCBMBackend builds a sharded CBM backend from a raw binary
+// adjacency matrix. order selects the row ordering applied before the
+// contiguous cut: "" or "natural" shards the input order as-is;
+// "minhash" and "rcm" permute the graph symmetrically first and wrap
+// the sharded backend in a ReorderedAdjacency so callers keep original
+// row order. The backend implements ScratchProvisioner/ScratchChecker
+// (directly, or forwarded through the wrapper), so an Engine over it
+// sizes the per-shard lease pool to its admission bound and enforces
+// the lease-leak rule at slot release.
+func NewShardedCBMBackend(adj *sparse.CSR, sopt shard.Options, order string) (*ShardedBuild, error) {
+	if order == "" || order == "natural" {
+		sa, stats, err := shard.New(adj, sopt)
+		if err != nil {
+			return nil, err
+		}
+		return &ShardedBuild{Backend: sa, Sharded: sa, Stats: stats}, nil
+	}
+	strat, err := reorder.ParseStrategy(order)
+	if err != nil {
+		return nil, fmt.Errorf("gnn: sharded backend: %w", err)
+	}
+	p, rstats := reorder.Build(adj, reorder.Options{Strategy: strat})
+	sa, stats, err := shard.New(adj.PermuteSymmetric(p.Perm()), sopt)
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedBuild{
+		Backend: &ReorderedAdjacency{Inner: sa, P: p},
+		Sharded: sa,
+		Stats:   stats,
+		Reorder: rstats,
+	}, nil
+}

@@ -1,0 +1,172 @@
+package gnn
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/cbm"
+	"repro/internal/shard"
+	"repro/internal/synth"
+	"repro/internal/xrand"
+
+	"repro/internal/dense"
+)
+
+func shardedTestBackend(t *testing.T, seed uint64, n, shards int, order string) *ShardedBuild {
+	t.Helper()
+	a := synth.SBMGroups(n, 20, 0.7, 0.5, seed)
+	sb, err := NewShardedCBMBackend(a, shard.Options{Shards: shards, CBM: cbm.Options{Alpha: 2}}, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sb
+}
+
+func TestNewShardedCBMBackendOrders(t *testing.T) {
+	for _, order := range []string{"", "natural", "minhash", "rcm"} {
+		sb := shardedTestBackend(t, 80, 160, 4, order)
+		if sb.Sharded.NumShards() != 4 || sb.Backend.Rows() != 160 {
+			t.Fatalf("order=%q: shards=%d rows=%d", order, sb.Sharded.NumShards(), sb.Backend.Rows())
+		}
+		if order == "minhash" || order == "rcm" {
+			if _, ok := sb.Backend.(*ReorderedAdjacency); !ok {
+				t.Fatalf("order=%q: backend is %T, want *ReorderedAdjacency", order, sb.Backend)
+			}
+			if sb.Reorder.Buckets == 0 {
+				t.Fatalf("order=%q: empty reorder stats", order)
+			}
+		} else if sb.Backend != Adjacency(sb.Sharded) {
+			t.Fatalf("order=%q: backend is %T, want the sharded adjacency itself", order, sb.Backend)
+		}
+	}
+	if _, err := NewShardedCBMBackend(synth.SBMGroups(40, 10, 0.7, 0.5, 81),
+		shard.Options{Shards: 2}, "zcurve"); err == nil {
+		t.Fatal("expected error for unknown order")
+	}
+}
+
+// TestShardedBackendMatchesCBM checks every ordering mode against the
+// unsharded CBM backend within DAD tolerance (re-associated row sums
+// forbid a bitwise contract for S>1; see DESIGN.md §Sharding).
+func TestShardedBackendMatchesCBM(t *testing.T) {
+	const n, inDim = 200, 8
+	a := synth.SBMGroups(n, 20, 0.7, 0.5, 90)
+	ref, _, err := NewCBMBackend(a, cbm.Options{Alpha: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(91)
+	x := randomFeatures(rng, n, inDim)
+	want := dense.New(n, inDim)
+	ref.MulTo(want, x, 1)
+	for _, order := range []string{"natural", "minhash", "rcm"} {
+		sb, err := NewShardedCBMBackend(a, shard.Options{Shards: 4, CBM: cbm.Options{Alpha: 2}}, order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := dense.New(n, inDim)
+		sb.Backend.MulTo(got, x, 2)
+		for i := range got.Data {
+			d := float64(got.Data[i] - want.Data[i])
+			if d < 0 {
+				d = -d
+			}
+			w := float64(want.Data[i])
+			if w < 0 {
+				w = -w
+			}
+			if d > 1e-4+1e-3*w {
+				t.Fatalf("order=%q: element %d differs: got %g want %g", order, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+// TestEngineShardedConcurrentBitwiseIdentical is the sharded serving
+// soundness check: concurrent requests against an Engine over a
+// ShardedAdjacency (plain and reordered) must be bitwise identical to
+// the single-threaded allocating path, with the per-shard lease pool
+// shared across slots. Run under -race (ci.sh does).
+func TestEngineShardedConcurrentBitwiseIdentical(t *testing.T) {
+	const n = 180
+	rng := xrand.New(82)
+
+	type serveCase struct {
+		name   string
+		engine *Engine
+		x      *dense.Matrix
+		want   *dense.Matrix
+	}
+	var cases []serveCase
+	for _, order := range []string{"natural", "rcm"} {
+		sb := shardedTestBackend(t, 83, n, 4, order)
+		model := NewGCN2(12, 9, 4, 84)
+		x := randomFeatures(rng, n, 12)
+		cases = append(cases, serveCase{
+			name:   "gcn2/sharded-" + order,
+			engine: NewEngine(model, sb.Backend, EngineConfig{MaxInFlight: 3, Threads: 1}),
+			x:      x,
+			want:   model.Infer(sb.Backend, x, 1),
+		})
+	}
+
+	const workers = 8
+	const reqsPerWorker = 6
+	errc := make(chan string, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			outs := make([]*dense.Matrix, len(cases))
+			for i, c := range cases {
+				outs[i] = dense.New(n, c.engine.OutDim())
+			}
+			for r := 0; r < reqsPerWorker; r++ {
+				for i, c := range cases {
+					c.engine.InferTo(outs[i], c.x)
+					if !bitwiseEqual(outs[i], c.want) {
+						select {
+						case errc <- c.name:
+						default:
+						}
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case name := <-errc:
+		t.Fatalf("%s: concurrent InferTo differs from sequential Infer", name)
+	default:
+	}
+	for _, c := range cases {
+		if e := c.engine; e.scratch != nil && e.scratch.ScratchLeaks() != 0 {
+			t.Fatalf("%s: backend leaked scratch", c.name)
+		}
+	}
+}
+
+// TestEngineShardedInferZeroAlloc pins the acceptance criterion: an
+// Engine over a ShardedAdjacency still serves zero-allocation requests
+// after warm-up — NewEngine provisions the per-shard lease pool to the
+// admission bound, so the steady state never builds a lease.
+func TestEngineShardedInferZeroAlloc(t *testing.T) {
+	for _, order := range []string{"natural", "rcm"} {
+		sb := shardedTestBackend(t, 85, 150, 4, order)
+		model := NewGCN2(12, 10, 4, 86)
+		e := NewEngine(model, sb.Backend, EngineConfig{MaxInFlight: 1, Threads: 1})
+		x := randomFeatures(xrand.New(87), 150, 12)
+		out := dense.New(150, model.OutDim())
+		for i := 0; i < 3; i++ {
+			e.InferTo(out, x) // warm the slot arena and the shard lease
+		}
+		if allocs := testing.AllocsPerRun(50, func() {
+			e.InferTo(out, x)
+		}); allocs != 0 {
+			t.Fatalf("order=%q: steady-state sharded InferTo allocates %v times per request", order, allocs)
+		}
+	}
+}

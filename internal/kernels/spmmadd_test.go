@@ -1,0 +1,97 @@
+package kernels
+
+import (
+	"testing"
+
+	"repro/internal/blas"
+	"repro/internal/dense"
+	"repro/internal/xrand"
+)
+
+// TestSpMMAddMatchesSpMMPlusBase checks c0 + s·b computed by SpMMAddTo
+// equals SpMMTo into scratch followed by a row-wise add, bitwise: both
+// paths accumulate each product term onto the destination in the same
+// per-element order.
+func TestSpMMAddMatchesSpMMPlusBase(t *testing.T) {
+	rng := xrand.New(41)
+	for trial := 0; trial < 10; trial++ {
+		rows, inner, cols := 5+int(rng.Uint64()%40), 5+int(rng.Uint64()%40), 1+int(rng.Uint64()%17)
+		s := randomCSR(rng, rows, inner, 0.2, trial%2 == 0)
+		b := randomDense(rng, inner, cols)
+		base := randomDense(rng, rows, cols)
+
+		got := base.Clone()
+		SpMMAddTo(got, s, b, 1)
+
+		want := base.Clone()
+		for i := 0; i < rows; i++ {
+			scols, svals := s.Row(i)
+			wrow := want.Row(i)
+			for k, col := range scols {
+				if v := svals[k]; v == 1 {
+					blas.Add(b.Row(int(col)), wrow)
+				} else {
+					blas.Axpy(v, b.Row(int(col)), wrow)
+				}
+			}
+		}
+		if !got.Equal(want) {
+			t.Fatalf("trial %d: SpMMAddTo diverges from reference accumulation", trial)
+		}
+	}
+}
+
+// TestSpMMAddThreadInvariant asserts the bitwise thread-invariance the
+// shard layer's determinism contract depends on.
+func TestSpMMAddThreadInvariant(t *testing.T) {
+	rng := xrand.New(42)
+	s := randomCSR(rng, 300, 200, 0.05, false)
+	b := randomDense(rng, 200, 24)
+	base := randomDense(rng, 300, 24)
+
+	ref := base.Clone()
+	SpMMAddTo(ref, s, b, 1)
+	for _, threads := range []int{2, 4, 8} {
+		got := base.Clone()
+		SpMMAddTo(got, s, b, threads)
+		if !got.Equal(ref) {
+			t.Fatalf("threads=%d: result differs from sequential", threads)
+		}
+	}
+}
+
+// TestSpMMAddOnZeroBaseMatchesSpMM: accumulating onto zeros is exactly
+// the overwrite kernel.
+func TestSpMMAddOnZeroBaseMatchesSpMM(t *testing.T) {
+	rng := xrand.New(43)
+	s := randomCSR(rng, 60, 50, 0.15, false)
+	b := randomDense(rng, 50, 9)
+	got := dense.New(60, 9)
+	SpMMAddTo(got, s, b, 1)
+	want := dense.New(60, 9)
+	SpMMTo(want, s, b, 1)
+	if !got.Equal(want) {
+		t.Fatal("SpMMAddTo on zero base differs from SpMMTo")
+	}
+}
+
+func TestSpMMAddShapePanics(t *testing.T) {
+	rng := xrand.New(44)
+	s := randomCSR(rng, 4, 5, 0.5, true)
+	for _, tc := range []struct {
+		c, b *dense.Matrix
+	}{
+		{dense.New(4, 3), dense.New(6, 3)}, // inner mismatch
+		{dense.New(3, 3), dense.New(5, 3)}, // wrong output rows
+		{dense.New(4, 2), dense.New(5, 3)}, // wrong output cols
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for c %dx%d, b %dx%d", tc.c.Rows, tc.c.Cols, tc.b.Rows, tc.b.Cols)
+				}
+			}()
+			SpMMAddTo(tc.c, s, tc.b, 1)
+		}()
+	}
+}

@@ -38,7 +38,8 @@ var Determinism = &Analyzer{
 func determinismScope(pkgPath string) bool {
 	switch pkgPath {
 	case "repro/internal/cbm", "repro/internal/kernels", "repro/internal/gnn",
-		"repro/internal/exec", "repro/internal/parallel", "repro/internal/reorder":
+		"repro/internal/exec", "repro/internal/parallel", "repro/internal/reorder",
+		"repro/internal/shard":
 		return true
 	}
 	return false

@@ -91,6 +91,32 @@ func bucketOrderOK(buckets map[uint64][]int32) []int32 {
 	return perm
 }
 
+// Positive: halo accumulation in the style of a sharded multiply —
+// summing cross-block contributions in map-range order re-associates
+// the float sum per run, so the shard output's low bits drift.
+func haloAccumBad(halo map[int32]float32, scale []float32) float32 {
+	var acc float32
+	for col, v := range halo {
+		acc += v * scale[col] // want `determinism: float accumulation over map iteration order`
+	}
+	return acc
+}
+
+// Negative: the sharded-frontier idiom — collect the halo columns,
+// sort them, then accumulate in deterministic column order.
+func haloAccumOK(halo map[int32]float32, scale []float32) float32 {
+	cols := make([]int32, 0, len(halo))
+	for c := range halo {
+		cols = append(cols, c)
+	}
+	sort.Slice(cols, func(i, j int) bool { return cols[i] < cols[j] })
+	var acc float32
+	for _, c := range cols {
+		acc += halo[c] * scale[c]
+	}
+	return acc
+}
+
 // Negative: integer addition commutes; order cannot change the result.
 func intAccumOK(counts map[int]int) int {
 	total := 0

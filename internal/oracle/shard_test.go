@@ -1,0 +1,63 @@
+package oracle
+
+import (
+	"testing"
+
+	"repro/internal/cbm"
+	"repro/internal/dense"
+	"repro/internal/xrand"
+)
+
+// TestCheckShardEquivalenceRegistry is the acceptance sweep: every
+// generator in the registry, shard counts {1,2,4,8} × threads {1,4}.
+func TestCheckShardEquivalenceRegistry(t *testing.T) {
+	const n = 96
+	rng := xrand.New(901)
+	b := dense.New(n, 8)
+	rng.FillUniform(b.Data)
+	tol := KindTolerance(cbm.KindDAD)
+	for _, g := range Generators() {
+		a := g.Gen(n, 7)
+		for _, shards := range []int{1, 2, 4, 8} {
+			for _, threads := range []int{1, 4} {
+				if err := CheckShardEquivalence(a, b, shards, threads, cbm.Options{}, tol); err != nil {
+					t.Errorf("%s: %v", g.Name, err)
+				}
+			}
+		}
+	}
+}
+
+// TestCheckShardEquivalenceWindowed runs the sweep under the banded
+// build mode, whose windowed candidate pass interacts with the smaller
+// per-shard index ranges.
+func TestCheckShardEquivalenceWindowed(t *testing.T) {
+	const n = 80
+	rng := xrand.New(902)
+	b := dense.New(n, 6)
+	rng.FillUniform(b.Data)
+	tol := KindTolerance(cbm.KindDAD)
+	for _, name := range []string{"sbm", "duprows"} {
+		g, err := GetGenerator(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := g.Gen(n, 11)
+		for _, shards := range []int{2, 4} {
+			if err := CheckShardEquivalence(a, b, shards, 4, cbm.Options{Window: 16}, tol); err != nil {
+				t.Errorf("%s: %v", name, err)
+			}
+		}
+	}
+}
+
+func TestCheckShardEquivalencePanicsOnBadShapes(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for mismatched operand")
+		}
+	}()
+	g, _ := GetGenerator("sbm")
+	a := g.Gen(32, 1)
+	CheckShardEquivalence(a, dense.New(16, 4), 2, 1, cbm.Options{}, Loose())
+}

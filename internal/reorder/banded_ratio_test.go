@@ -1,0 +1,80 @@
+// External test package: the banded-ratio non-regression gate for the
+// RCM strategy. It lives outside package reorder because it compresses
+// with internal/cbm, which itself imports reorder — an in-package test
+// would close an import cycle through the test archive.
+package reorder_test
+
+import (
+	"testing"
+
+	"repro/internal/cbm"
+	"repro/internal/reorder"
+	"repro/internal/sparse"
+	"repro/internal/synth"
+	"repro/internal/xrand"
+)
+
+// scramble returns a symmetric random relabelling of a, destroying any
+// index locality the generator emitted.
+func scramble(a *sparse.CSR, seed uint64) *sparse.CSR {
+	rng := xrand.New(seed)
+	perm := make([]int32, a.Rows)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	for i := a.Rows - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	return a.PermuteSymmetric(perm)
+}
+
+// bandedRatio compresses with the windowed candidate pass and returns
+// the CSR-bytes / CBM-bytes compression ratio.
+func bandedRatio(t *testing.T, a *sparse.CSR, window int) float64 {
+	t.Helper()
+	m, _, err := cbm.Compress(a, cbm.Options{Window: window})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return float64(a.FootprintBytes()) / float64(m.FootprintBytes())
+}
+
+// TestRCMBandedRatioNonRegression is the satellite gate for the RCM
+// strategy: on a scrambled community graph, compressing in RCM order
+// must recover at least the banded ratio of raw (scrambled) order —
+// BFS pulls each community back into a contiguous index run, which is
+// exactly the locality the windowed candidate pass trades on. Fixtures
+// mirror the registry: the SBM fixture of the windowed-compression
+// tests and a shrunk collab-style mixture (same component shape as
+// bench's "collab" dataset).
+func TestRCMBandedRatioNonRegression(t *testing.T) {
+	fixtures := []struct {
+		name string
+		a    *sparse.CSR
+	}{
+		{"sbm", synth.SBMGroups(900, 30, 0.9, 0.3, 8)},
+		{"collab", synth.SBMMixture(2000, []synth.SBMComponent{
+			{Weight: 0.45, GroupSize: 100, InProb: 0.96},
+			{Weight: 0.30, GroupSize: 55, InProb: 0.95},
+			{Weight: 0.25, GroupSize: 20, InProb: 0.95},
+		}, 0.3, 7)},
+	}
+	const window = 64
+	for _, fx := range fixtures {
+		t.Run(fx.name, func(t *testing.T) {
+			scrambled := scramble(fx.a, 99)
+			rawRatio := bandedRatio(t, scrambled, window)
+			p, stats := reorder.Build(scrambled, reorder.Options{Strategy: reorder.StrategyRCM})
+			if stats.Buckets < 1 {
+				t.Fatalf("RCM found no components: %+v", stats)
+			}
+			orderedRatio := bandedRatio(t, scrambled.PermuteSymmetric(p.Perm()), window)
+			if orderedRatio < rawRatio {
+				t.Fatalf("RCM order regressed the banded ratio: raw %.3f, rcm %.3f",
+					rawRatio, orderedRatio)
+			}
+			t.Logf("banded ratio: raw %.3f, rcm %.3f", rawRatio, orderedRatio)
+		})
+	}
+}

@@ -1,0 +1,129 @@
+package reorder
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sparse"
+)
+
+// Strategy selects the ordering algorithm Build runs.
+type Strategy int
+
+const (
+	// StrategyMinHash is the similarity ordering (MinHash signature
+	// bucketing) — the default. It clusters rows with near-identical
+	// column sets regardless of where they sit in the graph.
+	StrategyMinHash Strategy = iota
+	// StrategyRCM is reverse Cuthill–McKee: a graph-aware BFS ordering
+	// that minimizes bandwidth, placing each row near its neighbours.
+	// Where MinHash optimizes for exact neighbourhood duplication, RCM
+	// optimizes for locality along edges — on banded/community graphs it
+	// concentrates the nonzeros near the diagonal, which is what both
+	// the windowed candidate pass and a contiguous shard cut want.
+	StrategyRCM
+)
+
+var strategyNames = map[Strategy]string{
+	StrategyMinHash: "minhash",
+	StrategyRCM:     "rcm",
+}
+
+func (s Strategy) String() string {
+	if name, ok := strategyNames[s]; ok {
+		return name
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// ParseStrategy parses a strategy name as accepted by the CLI
+// -reorder flags.
+func ParseStrategy(s string) (Strategy, error) {
+	for st, name := range strategyNames {
+		if name == s {
+			return st, nil
+		}
+	}
+	return 0, fmt.Errorf("reorder: unknown strategy %q (want minhash or rcm)", s)
+}
+
+// buildRCM computes the reverse Cuthill–McKee ordering: per connected
+// component, a BFS from a minimum-degree start vertex, visiting each
+// node's unvisited neighbours in ascending (degree, index) order, then
+// the whole visit order reversed. The result depends only on the
+// matrix structure — no hashing, no seed, no thread count. Stats maps
+// onto the BFS shape: Buckets counts connected components,
+// LargestBucket is the widest BFS level (the bandwidth proxy RCM
+// minimizes).
+func buildRCM(a *sparse.CSR) (*Permutation, Stats) {
+	n := a.Rows
+	deg := make([]int32, n)
+	for i := range deg {
+		deg[i] = a.RowPtr[i+1] - a.RowPtr[i]
+	}
+	// Component starts in ascending (degree, index) order: the classic
+	// pseudo-peripheral heuristic's cheap deterministic stand-in.
+	starts := make([]int32, n)
+	for i := range starts {
+		starts[i] = int32(i)
+	}
+	sort.Slice(starts, func(x, y int) bool {
+		if deg[starts[x]] != deg[starts[y]] {
+			return deg[starts[x]] < deg[starts[y]]
+		}
+		return starts[x] < starts[y]
+	})
+
+	order := make([]int32, 0, n)
+	visited := make([]bool, n)
+	var neigh []int32
+	stats := Stats{}
+	for _, s := range starts {
+		if visited[s] {
+			continue
+		}
+		stats.Buckets++
+		visited[s] = true
+		compStart := len(order)
+		order = append(order, s)
+		// The order slice doubles as the BFS queue; levels are the
+		// [levelLo, levelHi) windows of it.
+		levelLo, levelHi := compStart, len(order)
+		for levelLo < levelHi {
+			if w := levelHi - levelLo; w > stats.LargestBucket {
+				stats.LargestBucket = w
+			}
+			for q := levelLo; q < levelHi; q++ {
+				node := order[q]
+				neigh = neigh[:0]
+				for _, c := range a.RowCols(int(node)) {
+					if int(c) < n && !visited[c] {
+						visited[c] = true
+						neigh = append(neigh, c)
+					}
+				}
+				sort.Slice(neigh, func(x, y int) bool {
+					if deg[neigh[x]] != deg[neigh[y]] {
+						return deg[neigh[x]] < deg[neigh[y]]
+					}
+					return neigh[x] < neigh[y]
+				})
+				order = append(order, neigh...)
+			}
+			levelLo, levelHi = levelHi, len(order)
+		}
+	}
+
+	// Reverse: the "R" of RCM. Reversing a CM order tends to reduce
+	// fill/profile (George–Liu); for our uses it is as good a band as CM
+	// and matches the textbook algorithm verify tools expect.
+	perm := make([]int32, n)
+	for i, s := range order {
+		perm[n-1-i] = s
+	}
+	inv := make([]int32, n)
+	for i, s := range perm {
+		inv[s] = int32(i)
+	}
+	return &Permutation{perm: perm, inv: inv}, stats
+}

@@ -1,0 +1,110 @@
+package reorder
+
+import (
+	"testing"
+
+	"repro/internal/sparse"
+	"repro/internal/synth"
+	"repro/internal/xrand"
+)
+
+func TestParseStrategy(t *testing.T) {
+	for _, s := range []Strategy{StrategyMinHash, StrategyRCM} {
+		got, err := ParseStrategy(s.String())
+		if err != nil || got != s {
+			t.Fatalf("ParseStrategy(%q) = %v, %v", s.String(), got, err)
+		}
+	}
+	if _, err := ParseStrategy("zcurve"); err == nil {
+		t.Fatal("expected error for unknown strategy")
+	}
+}
+
+func TestRCMDeterministicAndValid(t *testing.T) {
+	a := synth.SBMGroups(400, 20, 0.8, 0.5, 9)
+	p1, s1 := Build(a, Options{Strategy: StrategyRCM})
+	p2, s2 := Build(a, Options{Strategy: StrategyRCM, Threads: 4, Seed: 99, Hashes: 16})
+	// New re-validates: every index exactly once.
+	New(p1.Perm())
+	if s1 != s2 {
+		t.Fatalf("stats differ across irrelevant options: %+v vs %+v", s1, s2)
+	}
+	for i := range p1.Perm() {
+		if p1.Perm()[i] != p2.Perm()[i] {
+			t.Fatalf("perm differs at %d across irrelevant options", i)
+		}
+	}
+}
+
+// bandwidth returns max |i−j| over the stored entries of m.
+func bandwidth(m *sparse.CSR) int {
+	best := 0
+	for i := 0; i < m.Rows; i++ {
+		for _, c := range m.RowCols(i) {
+			d := i - int(c)
+			if d < 0 {
+				d = -d
+			}
+			if d > best {
+				best = d
+			}
+		}
+	}
+	return best
+}
+
+func TestRCMReducesBandwidthOnScrambledBand(t *testing.T) {
+	// A path-of-cliques graph has tiny natural bandwidth; scramble it,
+	// then RCM must recover a band far below the scrambled one.
+	const n = 600
+	coo := sparse.NewCOO(n, n)
+	for i := 0; i < n-1; i++ {
+		for j := i + 1; j <= i+4 && j < n; j++ {
+			coo.Append(i, j, 1)
+			coo.Append(j, i, 1)
+		}
+	}
+	a := coo.ToCSR()
+	rng := xrand.New(17)
+	perm := make([]int32, n)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	for i := n - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	scrambled := a.PermuteSymmetric(perm)
+
+	p, _ := Build(scrambled, Options{Strategy: StrategyRCM})
+	ordered := scrambled.PermuteSymmetric(p.Perm())
+	if bw, raw := bandwidth(ordered), bandwidth(scrambled); bw >= raw/4 {
+		t.Fatalf("RCM bandwidth %d did not beat scrambled %d by 4×", bw, raw)
+	}
+}
+
+func TestRCMStatsCountComponents(t *testing.T) {
+	blocks := make([]*sparse.CSR, 5)
+	for k := range blocks {
+		blocks[k] = synth.SBMGroups(40, 10, 0.9, 0, uint64(k+1))
+	}
+	a, _ := sparse.BlockDiag(blocks...)
+	_, stats := Build(a, Options{Strategy: StrategyRCM})
+	if stats.Buckets < 5 {
+		t.Fatalf("Buckets = %d, want ≥ 5 components", stats.Buckets)
+	}
+	if stats.LargestBucket < 1 {
+		t.Fatalf("LargestBucket = %d, want ≥ 1", stats.LargestBucket)
+	}
+}
+
+func TestRCMHandlesIsolatedVertices(t *testing.T) {
+	// All-zero rows are their own components; the permutation must still
+	// cover every index exactly once.
+	a := sparse.NewCSR(7, 7)
+	p, stats := Build(a, Options{Strategy: StrategyRCM})
+	New(p.Perm())
+	if stats.Buckets != 7 {
+		t.Fatalf("Buckets = %d, want 7", stats.Buckets)
+	}
+}

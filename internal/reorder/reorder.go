@@ -28,22 +28,32 @@ import (
 
 // Options configures Build.
 type Options struct {
+	// Strategy selects the ordering algorithm. The zero value is
+	// StrategyMinHash, the similarity ordering; StrategyRCM is the
+	// graph-aware BFS ordering (see rcm.go).
+	Strategy Strategy
 	// Hashes is the MinHash signature length used for ordering. More
 	// hashes discriminate finer similarity levels (ties broken by the
 	// next hash), at proportional signature cost. Default 4.
+	// StrategyRCM ignores it.
 	Hashes int
-	// Seed drives the hash functions.
+	// Seed drives the hash functions. StrategyRCM is seedless.
 	Seed uint64
 	// Threads used while computing signatures; < 1 selects the default.
 	Threads int
 }
 
-// Stats reports what the ordering pass found.
+// Stats reports what the ordering pass found. The fields are
+// strategy-shaped: under StrategyMinHash a bucket is a set of rows
+// sharing a full signature vector; under StrategyRCM a "bucket" is a
+// connected component and LargestBucket the widest BFS level (the
+// bandwidth proxy the ordering minimizes).
 type Stats struct {
-	// Buckets counts distinct full signature vectors — rows sharing a
-	// bucket are structurally near-identical and end up adjacent.
+	// Buckets counts distinct full signature vectors (minhash) or
+	// connected components (rcm).
 	Buckets int
-	// LargestBucket is the row count of the biggest bucket.
+	// LargestBucket is the row count of the biggest bucket (minhash) or
+	// the widest BFS level (rcm).
 	LargestBucket int
 }
 
@@ -131,7 +141,8 @@ func (p *Permutation) ScatterRows(dst, src *dense.Matrix) {
 	}
 }
 
-// Build computes a similarity ordering of a's rows. Rows are bucketed
+// Build computes a row ordering of a under opt.Strategy. The default
+// (StrategyMinHash) is the similarity ordering: rows are bucketed
 // by their full MinHash signature vector (see Signatures) — rows
 // sharing a bucket have near-identical neighbourhoods — and the
 // reordered matrix lists buckets by the index of each bucket's first
@@ -145,6 +156,9 @@ func (p *Permutation) ScatterRows(dst, src *dense.Matrix) {
 func Build(a *sparse.CSR, opt Options) (*Permutation, Stats) {
 	sp := obs.Begin(obs.StageReorder)
 	defer sp.End()
+	if opt.Strategy == StrategyRCM {
+		return buildRCM(a)
+	}
 	hashes := opt.Hashes
 	if hashes <= 0 {
 		hashes = 4

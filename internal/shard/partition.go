@@ -1,0 +1,132 @@
+// Package shard partitions a graph adjacency into contiguous row
+// blocks and serves the normalized product D·(A+I)·D through one CBM
+// compression per block plus an explicit halo exchange for the
+// cross-block columns. One shard owns one compression tree, one
+// execution arena and one pinned plan, so a graph too large for a
+// single cache-friendly working set — or a box that wants NUMA-sized
+// partitions — runs as S independent working sets composed
+// deterministically (DESIGN.md §Sharding).
+//
+// The package is in the determinism lint's scope: sharded products are
+// bitwise-reproducible at any thread count, because shards write
+// disjoint output row slabs and each shard's intra and halo
+// accumulation runs in a fixed sequential order.
+package shard
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sparse"
+)
+
+// Partition is a contiguous row-block partition of [0, n): shard s
+// owns rows [Offsets()[s], Offsets()[s+1]). Every shard is non-empty.
+type Partition struct {
+	offsets []int32
+}
+
+// NewPartition validates explicit cut offsets (ascending, first 0,
+// last n, no empty shard) and returns the partition. It panics on
+// malformed input, naming the offending cut.
+func NewPartition(offsets []int32, n int) Partition {
+	if len(offsets) < 2 {
+		panic(fmt.Sprintf("shard: partition needs at least 2 offsets, got %d", len(offsets)))
+	}
+	if offsets[0] != 0 || int(offsets[len(offsets)-1]) != n {
+		panic(fmt.Sprintf("shard: partition must span [0,%d), got offsets [%d,...,%d]",
+			n, offsets[0], offsets[len(offsets)-1]))
+	}
+	for s := 1; s < len(offsets); s++ {
+		if offsets[s] <= offsets[s-1] {
+			panic(fmt.Sprintf("shard: empty or inverted shard %d: offsets %d..%d", s-1, offsets[s-1], offsets[s]))
+		}
+	}
+	out := make([]int32, len(offsets))
+	copy(out, offsets)
+	return Partition{offsets: out}
+}
+
+// PartitionRows splits n rows into shards equal-sized blocks (the
+// first n mod shards blocks get one extra row). shards is clamped to
+// [1, n].
+func PartitionRows(n, shards int) Partition {
+	if n < 1 {
+		panic(fmt.Sprintf("shard: cannot partition %d rows", n))
+	}
+	shards = clampShards(shards, n)
+	offsets := make([]int32, shards+1)
+	base, extra := n/shards, n%shards
+	for s := 0; s < shards; s++ {
+		size := base
+		if s < extra {
+			size++
+		}
+		offsets[s+1] = offsets[s] + int32(size)
+	}
+	return Partition{offsets: offsets}
+}
+
+// PartitionByNNZ splits a's rows into shards contiguous blocks with
+// approximately equal nonzero counts: cut s is placed at the smallest
+// row whose prefix nnz reaches s/shards of the total, then clamped so
+// every shard keeps at least one row. Equal-nnz cuts are what balance
+// per-shard multiply cost under skewed degree distributions; a
+// locality-aware row order (internal/reorder) should be applied to a
+// before partitioning so the cuts also respect community structure.
+func PartitionByNNZ(a *sparse.CSR, shards int) Partition {
+	n := a.Rows
+	if n < 1 {
+		panic(fmt.Sprintf("shard: cannot partition %d rows", n))
+	}
+	shards = clampShards(shards, n)
+	total := a.NNZ()
+	offsets := make([]int32, shards+1)
+	offsets[shards] = int32(n)
+	for s := 1; s < shards; s++ {
+		target := int32(int64(total) * int64(s) / int64(shards))
+		// RowPtr is the prefix-nnz array; find the first cut row whose
+		// prefix reaches the target.
+		cut := sort.Search(n+1, func(r int) bool { return a.RowPtr[r] >= target })
+		// Clamp so shard s-1 keeps ≥ 1 row and enough rows remain for the
+		// shards after this cut.
+		if min := int(offsets[s-1]) + 1; cut < min {
+			cut = min
+		}
+		if max := n - (shards - s); cut > max {
+			cut = max
+		}
+		offsets[s] = int32(cut)
+	}
+	return Partition{offsets: offsets}
+}
+
+func clampShards(shards, n int) int {
+	if shards < 1 {
+		return 1
+	}
+	if shards > n {
+		return n
+	}
+	return shards
+}
+
+// NumShards returns the number of blocks.
+func (p Partition) NumShards() int { return len(p.offsets) - 1 }
+
+// Offsets returns the cut offsets (read-only by convention): length
+// NumShards()+1, first 0, last n.
+func (p Partition) Offsets() []int32 { return p.offsets }
+
+// Bounds returns shard s's row range [lo, hi).
+func (p Partition) Bounds(s int) (lo, hi int) {
+	return int(p.offsets[s]), int(p.offsets[s+1])
+}
+
+// Owner returns the shard owning row i (binary search over the cuts).
+func (p Partition) Owner(i int) int {
+	if i < 0 || int(i) >= int(p.offsets[len(p.offsets)-1]) {
+		panic(fmt.Sprintf("shard: row %d outside partition of %d rows", i, p.offsets[len(p.offsets)-1]))
+	}
+	return sort.Search(p.NumShards(), func(s int) bool { return p.offsets[s+1] > int32(i) })
+}

@@ -1,0 +1,44 @@
+package sparse
+
+import "fmt"
+
+// Slice extracts the submatrix of rows [r0,r1) × columns [c0,c1) as a
+// fresh CSR with columns rebased to c0 (entry (i,j) of the result is
+// entry (r0+i, c0+j) of m). Row order and within-row column order are
+// preserved, so slicing is canonical-form preserving and the
+// concatenation of column slices of a row enumerates exactly the row's
+// nonzeros in storage order — the property the shard layer's
+// intra/halo split relies on for bitwise-reproducible accumulation.
+func (m *CSR) Slice(r0, r1, c0, c1 int) *CSR {
+	if r0 < 0 || r1 < r0 || r1 > m.Rows || c0 < 0 || c1 < c0 || c1 > m.Cols {
+		panic(fmt.Sprintf("sparse: Slice window rows [%d,%d) cols [%d,%d) out of range for %dx%d matrix",
+			r0, r1, c0, c1, m.Rows, m.Cols))
+	}
+	out := &CSR{
+		Rows:   r1 - r0,
+		Cols:   c1 - c0,
+		RowPtr: make([]int32, r1-r0+1),
+	}
+	nnz := 0
+	for i := r0; i < r1; i++ {
+		cols, _ := m.Row(i)
+		for _, c := range cols {
+			if int(c) >= c0 && int(c) < c1 {
+				nnz++
+			}
+		}
+	}
+	out.ColIdx = make([]int32, 0, nnz)
+	out.Vals = make([]float32, 0, nnz)
+	for i := r0; i < r1; i++ {
+		cols, vals := m.Row(i)
+		for k, c := range cols {
+			if int(c) >= c0 && int(c) < c1 {
+				out.ColIdx = append(out.ColIdx, c-int32(c0))
+				out.Vals = append(out.Vals, vals[k])
+			}
+		}
+		out.RowPtr[i-r0+1] = int32(len(out.ColIdx))
+	}
+	return out
+}

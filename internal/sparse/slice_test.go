@@ -1,0 +1,109 @@
+package sparse
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestSliceAgainstDense(t *testing.T) {
+	rng := xrand.New(11)
+	for trial := 0; trial < 20; trial++ {
+		rows, cols := 1+int(rng.Uint64()%20), 1+int(rng.Uint64()%20)
+		m := randomValuedCSR(rng, rows, cols, 0.3)
+		r0 := int(rng.Uint64() % uint64(rows+1))
+		r1 := r0 + int(rng.Uint64()%uint64(rows-r0+1))
+		c0 := int(rng.Uint64() % uint64(cols+1))
+		c1 := c0 + int(rng.Uint64()%uint64(cols-c0+1))
+		got := m.Slice(r0, r1, c0, c1)
+		if err := got.Validate(); err != nil {
+			t.Fatalf("trial %d: slice not canonical: %v", trial, err)
+		}
+		if got.Rows != r1-r0 || got.Cols != c1-c0 {
+			t.Fatalf("trial %d: slice shape %dx%d, want %dx%d", trial, got.Rows, got.Cols, r1-r0, c1-c0)
+		}
+		want := m.ToDense()
+		gd := got.ToDense()
+		for i := 0; i < got.Rows; i++ {
+			for j := 0; j < got.Cols; j++ {
+				if gd.At(i, j) != want.At(r0+i, c0+j) {
+					t.Fatalf("trial %d: slice[%d,%d] = %v, want %v",
+						trial, i, j, gd.At(i, j), want.At(r0+i, c0+j))
+				}
+			}
+		}
+	}
+}
+
+// TestSliceColumnSplitPartitionsRows locks the property the shard
+// layer's intra/halo split relies on: the column slices [0,c) and
+// [c,Cols) of any row window partition its nonzeros exactly, with
+// storage order preserved inside each part.
+func TestSliceColumnSplitPartitionsRows(t *testing.T) {
+	rng := xrand.New(12)
+	m := randomValuedCSR(rng, 30, 30, 0.2)
+	for _, c := range []int{0, 7, 15, 30} {
+		left := m.Slice(0, m.Rows, 0, c)
+		right := m.Slice(0, m.Rows, c, m.Cols)
+		if left.NNZ()+right.NNZ() != m.NNZ() {
+			t.Fatalf("split at %d: %d + %d nnz, want %d", c, left.NNZ(), right.NNZ(), m.NNZ())
+		}
+		for i := 0; i < m.Rows; i++ {
+			cols, vals := m.Row(i)
+			lc, lv := left.Row(i)
+			rc, rv := right.Row(i)
+			if len(lc)+len(rc) != len(cols) {
+				t.Fatalf("split at %d: row %d nnz mismatch", c, i)
+			}
+			for k := range cols {
+				var gotCol int32
+				var gotVal float32
+				if k < len(lc) {
+					gotCol, gotVal = lc[k], lv[k]
+				} else {
+					gotCol, gotVal = rc[k-len(lc)]+int32(c), rv[k-len(lc)]
+				}
+				if gotCol != cols[k] || gotVal != vals[k] {
+					t.Fatalf("split at %d: row %d entry %d = (%d,%v), want (%d,%v)",
+						c, i, k, gotCol, gotVal, cols[k], vals[k])
+				}
+			}
+		}
+	}
+}
+
+func TestSliceEmptyWindows(t *testing.T) {
+	rng := xrand.New(13)
+	m := randomValuedCSR(rng, 8, 8, 0.4)
+	for _, w := range [][4]int{{3, 3, 0, 8}, {0, 8, 5, 5}, {0, 0, 0, 0}, {8, 8, 8, 8}} {
+		got := m.Slice(w[0], w[1], w[2], w[3])
+		if got.NNZ() != 0 {
+			t.Fatalf("window %v: nnz = %d, want 0", w, got.NNZ())
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("window %v: %v", w, err)
+		}
+	}
+}
+
+func TestSliceOutOfRangePanics(t *testing.T) {
+	m := NewCSR(4, 5)
+	for _, w := range [][4]int{
+		{-1, 2, 0, 5}, {0, 5, 0, 5}, {2, 1, 0, 5},
+		{0, 4, -1, 5}, {0, 4, 0, 6}, {0, 4, 3, 2},
+	} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("window %v: expected panic", w)
+				}
+				if msg, ok := r.(string); !ok || !strings.Contains(msg, "Slice window") {
+					t.Fatalf("window %v: panic %v lacks dimensioned message", w, r)
+				}
+			}()
+			m.Slice(w[0], w[1], w[2], w[3])
+		}()
+	}
+}
